@@ -1,0 +1,80 @@
+// Fig. 6 (and appendix Fig. 22): Chronos runtime under varying GC
+// frequencies and workload parameters — #txns, #ops/txn, #keys, key
+// distribution, #sessions, read proportion.
+#include "bench_util.h"
+#include "core/chronos.h"
+
+using namespace chronos;
+
+namespace {
+
+double RunChronos(History h, uint64_t gc_every) {
+  CountingSink sink;
+  Chronos checker(ChronosOptions{.gc_every_n_txns = gc_every}, &sink);
+  CheckStats stats = checker.Check(std::move(h));
+  return stats.sort_seconds + stats.check_seconds + stats.gc_seconds;
+}
+
+void Row(const char* label, const History& h,
+         const std::vector<uint64_t>& gcs) {
+  std::printf("%14s", label);
+  for (uint64_t gc : gcs) {
+    std::printf(" %9.3fs", RunChronos(h, gc));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  uint64_t scale = bench::ScaleFactor();
+  // GC frequencies scaled from the paper's gc-10k/20k/50k/inf.
+  std::vector<uint64_t> gcs = {1000 * scale, 2000 * scale, 5000 * scale, 0};
+
+  bench::Header("Fig 6", "Chronos runtime x GC frequency x parameters");
+  std::printf("%14s %10s %10s %10s %10s\n", "param", "gc-1k", "gc-2k",
+              "gc-5k", "gc-inf");
+
+  std::printf("-- (a) #txns --\n");
+  for (uint64_t n : {10000, 20000, 50000}) {
+    Row(std::to_string(n * scale).c_str(),
+        bench::DefaultHistory(n * scale), gcs);
+  }
+  std::printf("-- (b) #ops/txn (20k txns) --\n");
+  for (uint32_t ops : {5, 15, 30, 50, 100}) {
+    Row(std::to_string(ops).c_str(),
+        bench::DefaultHistory(20000 * scale, ops), gcs);
+  }
+  std::printf("-- (c) #keys (20k txns) --\n");
+  for (uint64_t keys : {200, 500, 1000, 2000, 5000}) {
+    Row(std::to_string(keys).c_str(),
+        bench::DefaultHistory(20000 * scale, 15, keys), gcs);
+  }
+  std::printf("-- (d) key distribution (20k txns) --\n");
+  Row("uniform",
+      bench::DefaultHistory(20000 * scale, 15, 1000, 50,
+                            workload::WorkloadParams::KeyDist::kUniform),
+      gcs);
+  Row("zipfian",
+      bench::DefaultHistory(20000 * scale, 15, 1000, 50,
+                            workload::WorkloadParams::KeyDist::kZipf),
+      gcs);
+  Row("hotspot",
+      bench::DefaultHistory(20000 * scale, 15, 1000, 50,
+                            workload::WorkloadParams::KeyDist::kHotspot),
+      gcs);
+  std::printf("-- (Fig 22a) #sessions (20k txns) --\n");
+  for (uint32_t sess : {10, 20, 50, 100, 200}) {
+    Row(std::to_string(sess).c_str(),
+        bench::DefaultHistory(20000 * scale, 15, 1000, sess), gcs);
+  }
+  std::printf("-- (Fig 22b) read proportion (20k txns) --\n");
+  for (int reads : {10, 30, 50, 70, 90}) {
+    Row((std::to_string(reads) + "%").c_str(),
+        bench::DefaultHistory(20000 * scale, 15, 1000, 50,
+                              workload::WorkloadParams::KeyDist::kZipf,
+                              reads / 100.0),
+        gcs);
+  }
+  return 0;
+}

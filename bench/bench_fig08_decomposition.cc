@@ -1,0 +1,38 @@
+// Fig. 8: Chronos runtime decomposition (loading / sorting / checking)
+// without GC, under varying #txns and #ops/txn. Loading dominates; both
+// loading and checking grow linearly.
+#include "bench_util.h"
+#include "core/chronos.h"
+
+using namespace chronos;
+
+namespace {
+
+void Row(const char* label, const History& h, const std::string& name) {
+  auto [load_s, loaded] = bench::SaveAndLoad(h, name);
+  CountingSink sink;
+  Chronos checker(ChronosOptions{}, &sink);
+  CheckStats stats = checker.Check(std::move(loaded));
+  std::printf("%10s %10.3fs %10.4fs %10.3fs\n", label, load_s,
+              stats.sort_seconds, stats.check_seconds);
+}
+
+}  // namespace
+
+int main() {
+  uint64_t scale = bench::ScaleFactor();
+  bench::Header("Fig 8", "Chronos stage decomposition (no GC)");
+  std::printf("%10s %11s %11s %11s\n", "config", "loading", "sorting",
+              "checking");
+  std::printf("-- (a) #txns --\n");
+  for (uint64_t n : {5000, 10000, 50000, 100000}) {
+    Row(std::to_string(n * scale).c_str(), bench::DefaultHistory(n * scale),
+        "fig8a");
+  }
+  std::printf("-- (b) #ops/txn (20k txns) --\n");
+  for (uint32_t ops : {5, 15, 30, 50, 100}) {
+    Row(std::to_string(ops).c_str(),
+        bench::DefaultHistory(20000 * scale, ops), "fig8b");
+  }
+  return 0;
+}

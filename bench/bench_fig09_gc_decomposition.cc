@@ -1,0 +1,32 @@
+// Fig. 9: Chronos stage decomposition under varying GC frequencies for a
+// large history: frequent GC becomes the dominant stage; its total cost
+// falls as the frequency decreases.
+#include "bench_util.h"
+#include "core/chronos.h"
+
+using namespace chronos;
+
+int main() {
+  uint64_t scale = bench::ScaleFactor();
+  uint64_t txns = 100000 * scale;  // paper: 1M
+  bench::Header("Fig 9", "decomposition x GC frequency");
+  History h = bench::DefaultHistory(txns);
+  auto [load_s, loaded] = bench::SaveAndLoad(h, "fig9");
+  std::printf("history: %llu txns, loading %.3fs\n",
+              static_cast<unsigned long long>(txns), load_s);
+  std::printf("%10s %11s %11s %11s %8s\n", "txns/gc", "sorting", "checking",
+              "GC", "passes");
+  for (uint64_t gc : {1000 * scale, 2000 * scale, 5000 * scale,
+                      10000 * scale, 20000 * scale, 50000 * scale,
+                      uint64_t{0}}) {
+    CountingSink sink;
+    Chronos checker(ChronosOptions{.gc_every_n_txns = gc}, &sink);
+    History copy = h;
+    CheckStats stats = checker.Check(std::move(copy));
+    std::printf("%10s %10.4fs %10.3fs %10.3fs %8zu\n",
+                gc == 0 ? "inf" : std::to_string(gc).c_str(),
+                stats.sort_seconds, stats.check_seconds, stats.gc_seconds,
+                stats.gc_passes);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 10: Chronos memory usage over time while checking a 100K-txn
+// history under different GC frequencies — rises during loading, then a
+// sawtooth decline during checking as GC releases processed transactions.
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/chronos.h"
+
+using namespace chronos;
+
+int main() {
+  uint64_t scale = bench::ScaleFactor();
+  uint64_t txns = 100000 * scale;
+  bench::Header("Fig 10", "Chronos memory over time");
+  for (uint64_t gc : {2000 * scale, 5000 * scale, 20000 * scale,
+                      uint64_t{0}}) {
+    History h = bench::DefaultHistory(txns);
+    std::atomic<bool> done{false};
+    std::vector<std::pair<double, size_t>> samples;
+    std::thread sampler([&] {
+      Stopwatch sw;
+      while (!done.load()) {
+        samples.emplace_back(sw.Seconds(), online::ReadRssBytes());
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+    CountingSink sink;
+    Chronos checker(ChronosOptions{.gc_every_n_txns = gc, .trim_on_gc = true},
+                    &sink);
+    checker.Check(std::move(h));
+    done.store(true);
+    sampler.join();
+    std::printf("-- gc-%s: %zu samples --\n",
+                gc == 0 ? "inf" : std::to_string(gc).c_str(), samples.size());
+    size_t step = std::max<size_t>(1, samples.size() / 12);
+    for (size_t i = 0; i < samples.size(); i += step) {
+      std::printf("  t=%6.2fs rss=%7.1fMB\n", samples[i].first,
+                  samples[i].second / 1048576.0);
+    }
+  }
+  return 0;
+}

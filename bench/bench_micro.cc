@@ -1,0 +1,123 @@
+// Micro/ablation benchmarks (google-benchmark): per-transaction checker
+// cost and the data-structure choices DESIGN.md calls out — the
+// augmented interval tree vs brute-force overlap scans, per-key version
+// maps vs linear scans, and timeline insertion.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/aion.h"
+#include "core/chronos.h"
+#include "core/event_timeline.h"
+#include "core/interval_tree.h"
+#include "core/versioned_kv.h"
+#include "workload/generator.h"
+
+namespace chronos {
+namespace {
+
+History MakeHistory(uint64_t txns) {
+  workload::WorkloadParams p;
+  p.sessions = 24;
+  p.txns = txns;
+  p.ops_per_txn = 8;
+  p.keys = 500;
+  return workload::GenerateDefaultHistory(p);
+}
+
+void BM_ChronosPerTxn(benchmark::State& state) {
+  History h = MakeHistory(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    CountingSink sink;
+    History copy = h;
+    Chronos checker(ChronosOptions{}, &sink);
+    benchmark::DoNotOptimize(checker.Check(std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(h.txns.size()));
+}
+BENCHMARK(BM_ChronosPerTxn)->Arg(2000)->Arg(10000);
+
+void BM_AionPerTxn(benchmark::State& state) {
+  History h = MakeHistory(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    CountingSink sink;
+    Aion::Options opt;
+    opt.ext_timeout_ms = 50;
+    Aion aion(opt, &sink);
+    uint64_t now = 0;
+    for (const Transaction& t : h.txns) aion.OnTransaction(t, ++now);
+    aion.Finish();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(h.txns.size()));
+}
+BENCHMARK(BM_AionPerTxn)->Arg(2000)->Arg(10000);
+
+void BM_IntervalTreeOverlap(benchmark::State& state) {
+  IntervalTree tree;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    Timestamp s = rng() % 100000;
+    tree.Insert({s, s + rng() % 100, static_cast<TxnId>(i)});
+  }
+  std::vector<WriteInterval> out;
+  for (auto _ : state) {
+    out.clear();
+    Timestamp lo = rng() % 100000;
+    tree.QueryOverlap(lo, lo + 50, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_IntervalTreeOverlap)->Arg(1000)->Arg(100000);
+
+void BM_BruteForceOverlap(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  std::vector<WriteInterval> ivs;
+  for (int i = 0; i < state.range(0); ++i) {
+    Timestamp s = rng() % 100000;
+    ivs.push_back({s, s + rng() % 100, static_cast<TxnId>(i)});
+  }
+  std::vector<WriteInterval> out;
+  for (auto _ : state) {
+    out.clear();
+    Timestamp lo = rng() % 100000, hi = lo + 50;
+    for (const auto& iv : ivs) {
+      if (iv.start <= hi && iv.end >= lo) out.push_back(iv);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BruteForceOverlap)->Arg(1000)->Arg(100000);
+
+void BM_VersionedKvLookup(benchmark::State& state) {
+  VersionedKv kv;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    kv.Put(i % 100, static_cast<Timestamp>(i + 1), i, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kv.GetAtOrBefore(rng() % 100, rng() % state.range(0)));
+  }
+}
+BENCHMARK(BM_VersionedKvLookup)->Arg(10000)->Arg(1000000);
+
+void BM_TimelineInsert(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  EventTimeline tl;
+  TxnId tid = 0;
+  for (auto _ : state) {
+    Transaction t;
+    t.tid = ++tid;
+    t.start_ts = rng();
+    t.commit_ts = t.start_ts + 1;
+    benchmark::DoNotOptimize(tl.Insert(t));
+  }
+}
+BENCHMARK(BM_TimelineInsert);
+
+}  // namespace
+}  // namespace chronos
+
+BENCHMARK_MAIN();

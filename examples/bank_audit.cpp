@@ -1,0 +1,64 @@
+// Bank-transfer audit: a classic lost-update scenario. Two tellers
+// concurrently update the same account; a buggy bank (first-committer-
+// wins disabled) silently loses one update. CHRONOS's NOCONFLICT check
+// catches it; the same history with the check enabled stays clean.
+#include <cstdio>
+
+#include "core/chronos.h"
+#include "db/database.h"
+
+using namespace chronos;
+
+namespace {
+
+constexpr Key kAccountA = 1;
+constexpr Key kAccountB = 2;
+
+// Transfer `amount` from A to B, reading balances first.
+void Transfer(db::Database* db, SessionId teller, Value amount) {
+  auto txn = db->Begin(teller);
+  Value a = db->Read(txn.get(), kAccountA);
+  Value b = db->Read(txn.get(), kAccountB);
+  db->Write(txn.get(), kAccountA, a - amount);
+  db->Write(txn.get(), kAccountB, b + amount);
+  db->Commit(std::move(txn));
+}
+
+size_t AuditBank(bool buggy) {
+  db::DbConfig cfg;
+  if (buggy) cfg.faults.lost_update_prob = 1.0;  // validation disabled
+  db::Database db(cfg);
+
+  // Two tellers race on the same accounts: begin both, then commit both.
+  for (int round = 0; round < 50; ++round) {
+    auto t1 = db.Begin(0);
+    auto t2 = db.Begin(1);
+    Value a1 = db.Read(t1.get(), kAccountA);
+    Value a2 = db.Read(t2.get(), kAccountA);
+    db.Write(t1.get(), kAccountA, a1 - 10);
+    db.Write(t2.get(), kAccountA, a2 - 20);
+    db.Commit(std::move(t1));
+    db.Commit(std::move(t2));  // buggy: commits although concurrent
+    Transfer(&db, 2, 5);       // interleave a well-behaved teller
+  }
+
+  CountingSink sink;
+  Chronos::CheckHistory(db.ExportHistory(), &sink);
+  return sink.count(ViolationType::kNoConflict);
+}
+
+}  // namespace
+
+int main() {
+  size_t healthy = AuditBank(/*buggy=*/false);
+  size_t buggy = AuditBank(/*buggy=*/true);
+  std::printf("healthy bank: %zu lost-update (NOCONFLICT) findings\n",
+              healthy);
+  std::printf("buggy bank:   %zu lost-update (NOCONFLICT) findings\n", buggy);
+  if (healthy == 0 && buggy > 0) {
+    std::printf("audit verdict: the buggy bank loses updates — caught by "
+                "timestamp-based checking\n");
+    return 0;
+  }
+  return 1;
+}

@@ -1,0 +1,47 @@
+// Quickstart: generate a workload on the bundled SI database, export its
+// history, and check it offline with CHRONOS — the 60-second tour of the
+// library's public API.
+#include <cstdio>
+
+#include "core/chronos.h"
+#include "hist/codec.h"
+#include "workload/generator.h"
+
+using namespace chronos;
+
+int main() {
+  // 1. Run a Table-I-style workload against the in-memory SI database.
+  workload::WorkloadParams params;
+  params.sessions = 20;
+  params.txns = 10000;
+  params.ops_per_txn = 10;
+  params.keys = 500;
+  History history = workload::GenerateDefaultHistory(params);
+  std::printf("generated %zu committed transactions (%zu operations)\n",
+              history.txns.size(), history.NumOps());
+
+  // 2. Persist and reload it (the CDC-style text format).
+  hist::SaveHistory(history, "/tmp/quickstart.hist");
+  History loaded;
+  hist::CodecStatus status = hist::LoadHistory("/tmp/quickstart.hist", &loaded);
+  if (!status.ok) {
+    std::printf("load failed: %s\n", status.message.c_str());
+    return 1;
+  }
+
+  // 3. Check snapshot isolation offline.
+  CountingSink sink;
+  CheckStats stats = Chronos::CheckHistory(loaded, &sink);
+  std::printf("checked %zu txns in %.3fs: %zu violations\n", stats.txns,
+              stats.TotalSeconds(), stats.violations);
+
+  // 4. Corrupt one read and check again: CHRONOS pinpoints the anomaly.
+  loaded.txns[5000].ops[0] = {OpType::kRead, 1, 424242, 0};
+  CountingSink bad;
+  Chronos::CheckHistory(loaded, &bad);
+  std::printf("after corrupting one read: %zu violations\n", bad.total());
+  for (const Violation& v : bad.first()) {
+    std::printf("  %s\n", v.ToString().c_str());
+  }
+  return bad.total() > 0 ? 0 : 1;
+}

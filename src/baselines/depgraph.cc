@@ -1,0 +1,308 @@
+#include "baselines/depgraph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/small_map.h"
+
+namespace chronos::baselines {
+
+bool IsAcyclic(const std::vector<std::vector<uint32_t>>& adj) {
+  size_t n = adj.size();
+  std::vector<uint8_t> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    stack.emplace_back(root, 0);
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < adj[node].size()) {
+        uint32_t child = adj[node][next++];
+        if (color[child] == 1) return false;  // back edge: cycle
+        if (color[child] == 0) {
+          color[child] = 1;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+bool SatisfiesSerCriterion(const DepGraph& g) {
+  std::vector<std::vector<uint32_t>> adj(g.n);
+  for (uint32_t i = 0; i < g.n; ++i) {
+    adj[i] = g.dep[i];
+    adj[i].insert(adj[i].end(), g.rw[i].begin(), g.rw[i].end());
+  }
+  return IsAcyclic(adj);
+}
+
+bool SatisfiesSiCriterion(const DepGraph& g) {
+  // Phase expansion: node 2x is "entered via dep", 2x+1 is "entered via
+  // rw". An rw edge may only leave a dep-entered node, so cycles where
+  // two rw edges are adjacent cannot close (those are SI-legal).
+  std::vector<std::vector<uint32_t>> adj(2 * g.n);
+  for (uint32_t x = 0; x < g.n; ++x) {
+    for (uint32_t y : g.dep[x]) {
+      adj[2 * x].push_back(2 * y);
+      adj[2 * x + 1].push_back(2 * y);
+    }
+    for (uint32_t y : g.rw[x]) {
+      adj[2 * x].push_back(2 * y + 1);
+    }
+  }
+  return IsAcyclic(adj);
+}
+
+VersionOrders RecoverByCommitTs(const History& h) {
+  VersionOrders vo;
+  std::unordered_map<Key, std::vector<std::pair<Timestamp, uint32_t>>> tmp;
+  for (uint32_t i = 0; i < h.txns.size(); ++i) {
+    SmallMap<Key, bool> seen;
+    for (const Op& op : h.txns[i].ops) {
+      if (op.type != OpType::kWrite && op.type != OpType::kAppend) continue;
+      if (seen.Find(op.key)) continue;
+      seen.Put(op.key, true);
+      tmp[op.key].emplace_back(h.txns[i].commit_ts, i);
+    }
+  }
+  for (auto& [key, writers] : tmp) {
+    std::sort(writers.begin(), writers.end());
+    auto& order = vo.order[key];
+    order.reserve(writers.size());
+    for (const auto& [ts, idx] : writers) {
+      (void)ts;
+      order.push_back(idx);
+    }
+  }
+  return vo;
+}
+
+VersionOrders RecoverFromListPrefixes(const History& h, ViolationSink* sink,
+                                      size_t* anomalies) {
+  *anomalies = 0;
+  // Canonical per-key element sequence: the longest observed list; every
+  // other observation must be one of its prefixes.
+  std::unordered_map<Key, std::vector<Value>> canon;
+  for (const Transaction& t : h.txns) {
+    for (const Op& op : t.ops) {
+      if (op.type != OpType::kReadList) continue;
+      const std::vector<Value>& obs = t.list_args[op.list_index];
+      auto& c = canon[op.key];
+      size_t common = std::min(c.size(), obs.size());
+      bool prefix_ok =
+          std::equal(obs.begin(), obs.begin() + static_cast<long>(common),
+                     c.begin());
+      if (!prefix_ok) {
+        sink->Report({ViolationType::kExt, t.tid, kTxnNone, op.key,
+                      static_cast<Value>(c.size()),
+                      static_cast<Value>(obs.size())});
+        ++*anomalies;
+        continue;
+      }
+      if (obs.size() > c.size()) c = obs;
+    }
+  }
+  // Element -> appender map, then collapse elements to writer sequences.
+  std::unordered_map<Key, std::unordered_map<Value, uint32_t>> appender;
+  for (uint32_t i = 0; i < h.txns.size(); ++i) {
+    for (const Op& op : h.txns[i].ops) {
+      if (op.type == OpType::kAppend) appender[op.key][op.value] = i;
+    }
+  }
+  VersionOrders vo;
+  for (const auto& [key, elems] : canon) {
+    auto& order = vo.order[key];
+    auto ait = appender.find(key);
+    for (Value e : elems) {
+      if (ait == appender.end()) break;
+      auto wit = ait->second.find(e);
+      if (wit == ait->second.end()) continue;  // unknown writer: skip
+      if (order.empty() || order.back() != wit->second) {
+        order.push_back(wit->second);
+      }
+    }
+  }
+  return vo;
+}
+
+size_t BuildDepGraph(const History& h, const VersionOrders& orders,
+                     const GraphBuildOptions& options, DepGraph* out,
+                     ViolationSink* sink) {
+  const size_t n = h.txns.size();
+  size_t anomalies = 0;
+
+  // Time-precedes chain (Emme's start-ordered edges): auxiliary nodes, one
+  // per distinct timestamp, chained in ascending order. A transaction
+  // links commit -> chain and chain -> start, so Ti ->* Tj iff
+  // Ti.commit_ts < Tj.start_ts — O(N) edges, exact reachability.
+  std::map<Timestamp, uint32_t> time_node;
+  if (options.add_time_edges) {
+    for (const Transaction& t : h.txns) {
+      time_node.emplace(t.start_ts, 0);
+      time_node.emplace(t.commit_ts, 0);
+    }
+    uint32_t next = static_cast<uint32_t>(n);
+    for (auto& [ts, idx] : time_node) {
+      (void)ts;
+      idx = next++;
+    }
+  }
+  out->Reset(n + time_node.size());
+  if (options.add_time_edges) {
+    uint32_t prev = UINT32_MAX;
+    for (auto& [ts, idx] : time_node) {
+      (void)ts;
+      if (prev != UINT32_MAX) out->AddDep(prev, idx);
+      prev = idx;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      const Transaction& t = h.txns[i];
+      out->AddDep(i, time_node[t.commit_ts]);       // commit enters chain
+      // The chain node *before* the start releases into the transaction;
+      // entering at start itself would equate cts == sts with cts < sts.
+      auto it = time_node.find(t.start_ts);
+      if (it != time_node.begin()) {
+        // Find the predecessor timestamp node.
+        auto pit = std::prev(time_node.lower_bound(t.start_ts));
+        out->AddDep(pit->second, i);
+      }
+    }
+  }
+
+  // Session order chains.
+  if (options.add_session_edges) {
+    std::unordered_map<SessionId, std::vector<std::pair<uint64_t, uint32_t>>>
+        sessions;
+    for (uint32_t i = 0; i < n; ++i) {
+      sessions[h.txns[i].sid].emplace_back(h.txns[i].sno, i);
+    }
+    for (auto& [sid, seq] : sessions) {
+      (void)sid;
+      std::sort(seq.begin(), seq.end());
+      for (size_t i = 0; i + 1 < seq.size(); ++i) {
+        out->AddDep(seq[i].second, seq[i + 1].second);
+      }
+    }
+  }
+
+  // Unique-value writer map: (key, value) -> writer index.
+  std::unordered_map<Key, std::unordered_map<Value, uint32_t>> writer_of;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const Op& op : h.txns[i].ops) {
+      if (op.type != OpType::kWrite && op.type != OpType::kAppend) continue;
+      auto [it, fresh] = writer_of[op.key].emplace(op.value, i);
+      if (!fresh && it->second != i) {
+        // Unique-value assumption broken; black-box checkers treat this
+        // as ambiguity. Report and keep the first writer.
+        sink->Report({ViolationType::kExt, h.txns[i].tid,
+                      h.txns[it->second].tid, op.key, kValueBottom,
+                      op.value});
+        ++anomalies;
+      }
+    }
+  }
+
+  // Per-key version ranks and ww chains.
+  std::unordered_map<Key, std::unordered_map<uint32_t, size_t>> rank;
+  for (const auto& [key, order] : orders.order) {
+    auto& r = rank[key];
+    for (size_t i = 0; i < order.size(); ++i) {
+      r[order[i]] = i;
+      if (i + 1 < order.size()) out->AddDep(order[i], order[i + 1]);
+    }
+  }
+
+  auto rw_to_next = [&](Key key, uint32_t writer_idx, uint32_t reader) {
+    auto oit = orders.order.find(key);
+    if (oit == orders.order.end()) return;
+    auto rit = rank[key].find(writer_idx);
+    if (rit == rank[key].end()) return;
+    size_t next = rit->second + 1;
+    if (next < oit->second.size()) out->AddRw(reader, oit->second[next]);
+  };
+
+  // Reads: wr and rw edges; INT and aborted reads (G1a) as a by-product.
+  for (uint32_t i = 0; i < n; ++i) {
+    const Transaction& t = h.txns[i];
+    SmallMap<Key, Value> int_val;
+    for (const Op& op : t.ops) {
+      switch (op.type) {
+        case OpType::kWrite:
+        case OpType::kAppend:
+          int_val.Put(op.key, op.value);
+          break;
+        case OpType::kRead: {
+          if (Value* iv = int_val.Find(op.key)) {
+            if (*iv != op.value) {
+              sink->Report({ViolationType::kInt, t.tid, kTxnNone, op.key, *iv,
+                            op.value});
+              ++anomalies;
+            }
+            int_val.Put(op.key, op.value);
+            break;
+          }
+          int_val.Put(op.key, op.value);
+          if (op.value == kValueInit) {
+            // Read of the initial version: anti-depends on the first
+            // committed version.
+            auto oit = orders.order.find(op.key);
+            if (oit != orders.order.end() && !oit->second.empty()) {
+              out->AddRw(i, oit->second[0]);
+            }
+            break;
+          }
+          auto kit = writer_of.find(op.key);
+          const uint32_t* w = nullptr;
+          if (kit != writer_of.end()) {
+            auto vit = kit->second.find(op.value);
+            if (vit != kit->second.end()) w = &vit->second;
+          }
+          if (!w) {
+            // Aborted/phantom read (G1a-flavoured): no committed writer.
+            sink->Report({ViolationType::kExt, t.tid, kTxnNone, op.key,
+                          kValueBottom, op.value});
+            ++anomalies;
+            break;
+          }
+          out->AddDep(*w, i);  // wr
+          rw_to_next(op.key, *w, i);
+          break;
+        }
+        case OpType::kReadList: {
+          const std::vector<Value>& obs = t.list_args[op.list_index];
+          auto oit = orders.order.find(op.key);
+          if (obs.empty()) {
+            if (oit != orders.order.end() && !oit->second.empty()) {
+              out->AddRw(i, oit->second[0]);
+            }
+            break;
+          }
+          auto kit = writer_of.find(op.key);
+          const uint32_t* w = nullptr;
+          if (kit != writer_of.end()) {
+            auto vit = kit->second.find(obs.back());
+            if (vit != kit->second.end()) w = &vit->second;
+          }
+          if (!w) {
+            sink->Report({ViolationType::kExt, t.tid, kTxnNone, op.key,
+                          kValueBottom, obs.back()});
+            ++anomalies;
+            break;
+          }
+          out->AddDep(*w, i);
+          rw_to_next(op.key, *w, i);
+          break;
+        }
+      }
+    }
+  }
+  return anomalies;
+}
+
+}  // namespace chronos::baselines

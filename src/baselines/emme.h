@@ -1,0 +1,28 @@
+// Emme-SI (Clark et al., EuroSys'24 family): a timestamp-based
+// (white-box) SI checker built on version-order recovery. Unlike CHRONOS
+// it is not incremental: it recovers the full per-key version order from
+// commit timestamps, materializes the complete start-ordered
+// serialization graph of the history (so + wr + ww + rw + realtime
+// edges), validates every read against the stored version lists, and
+// finishes with a global cycle-detection pass. The full-graph
+// materialization is what makes it memory-heavy and unsuited to online
+// checking (paper Secs. I, V-B, VII).
+#ifndef CHRONOS_BASELINES_EMME_H_
+#define CHRONOS_BASELINES_EMME_H_
+
+#include "baselines/elle.h"
+#include "core/types.h"
+#include "core/violation.h"
+
+namespace chronos::baselines {
+
+/// Offline Emme-style SI check. Reports the same violation classes as
+/// CHRONOS (SESSION/INT/EXT/NOCONFLICT/Eq.1) plus dependency cycles.
+BaselineResult CheckEmmeSi(const History& h, ViolationSink* sink);
+
+/// Emme-style SER check (commit-order replay via the graph machinery).
+BaselineResult CheckEmmeSer(const History& h, ViolationSink* sink);
+
+}  // namespace chronos::baselines
+
+#endif  // CHRONOS_BASELINES_EMME_H_

@@ -1,0 +1,145 @@
+#include "baselines/sat/solver.h"
+
+#include <algorithm>
+
+namespace chronos::sat {
+
+int Solver::NewVar() {
+  assign_.push_back(kUndef);
+  activity_.push_back(0.0);
+  phase_.push_back(false);
+  watches_.push_back({});
+  watches_.push_back({});
+  return NumVars();
+}
+
+void Solver::AddClause(std::vector<Lit> lits) {
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  // Tautology?
+  for (size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i] == -lits[i + 1]) return;
+  }
+  if (lits.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (lits.size() == 1) {
+    root_units_.push_back(lits[0]);
+    return;
+  }
+  size_t idx = clauses_.size();
+  clauses_.push_back({std::move(lits)});
+  watches_[LitIndex(clauses_[idx].lits[0])].push_back(idx);
+  watches_[LitIndex(clauses_[idx].lits[1])].push_back(idx);
+}
+
+void Solver::Enqueue(Lit l) {
+  assign_[static_cast<size_t>(l > 0 ? l : -l)] = l > 0 ? kTrue : kFalse;
+  phase_[static_cast<size_t>(l > 0 ? l : -l)] = l > 0;
+  trail_.push_back(l);
+}
+
+void Solver::UndoTo(size_t trail_limit) {
+  while (trail_.size() > trail_limit) {
+    Lit l = trail_.back();
+    trail_.pop_back();
+    assign_[static_cast<size_t>(l > 0 ? l : -l)] = kUndef;
+  }
+}
+
+bool Solver::Propagate(size_t* conflict_clause) {
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    std::vector<size_t>& watchers = watches_[LitIndex(-p)];
+    size_t keep = 0;
+    for (size_t wi = 0; wi < watchers.size(); ++wi) {
+      size_t ci = watchers[wi];
+      Clause& c = clauses_[ci];
+      // Normalize: the falsified watched literal sits at position 1.
+      if (c.lits[0] == -p) std::swap(c.lits[0], c.lits[1]);
+      if (LitValue(c.lits[0]) == kTrue) {
+        watchers[keep++] = ci;  // clause satisfied; keep watching
+        continue;
+      }
+      bool moved = false;
+      for (size_t j = 2; j < c.lits.size(); ++j) {
+        if (LitValue(c.lits[j]) != kFalse) {
+          std::swap(c.lits[1], c.lits[j]);
+          watches_[LitIndex(c.lits[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch relocated; drop from this list
+      watchers[keep++] = ci;
+      if (LitValue(c.lits[0]) == kFalse) {
+        // Conflict: restore untraversed watchers and report.
+        for (size_t rest = wi + 1; rest < watchers.size(); ++rest) {
+          watchers[keep++] = watchers[rest];
+        }
+        watchers.resize(keep);
+        *conflict_clause = ci;
+        return false;
+      }
+      Enqueue(c.lits[0]);
+    }
+    watchers.resize(keep);
+  }
+  return true;
+}
+
+Solver::Result Solver::Solve(uint64_t max_conflicts) {
+  if (unsat_) return Result::kUnsat;
+  UndoTo(0);
+  qhead_ = 0;
+  struct Frame {
+    size_t trail_size;
+    Lit lit;
+    bool flipped;
+    int cursor;
+  };
+  std::vector<Frame> frames;
+
+  for (Lit u : root_units_) {
+    if (LitValue(u) == kFalse) return Result::kUnsat;
+    if (LitValue(u) == kUndef) Enqueue(u);
+  }
+
+  uint64_t conflicts = 0;
+  int cursor = 1;
+  while (true) {
+    size_t confl = 0;
+    if (!Propagate(&confl)) {
+      for (Lit l : clauses_[confl].lits) {
+        activity_[static_cast<size_t>(l > 0 ? l : -l)] += 1.0;
+      }
+      if (++conflicts > max_conflicts) return Result::kUnknown;
+      while (!frames.empty() && frames.back().flipped) frames.pop_back();
+      if (frames.empty()) return Result::kUnsat;
+      Frame& f = frames.back();
+      UndoTo(f.trail_size);
+      qhead_ = trail_.size();
+      f.flipped = true;
+      cursor = f.cursor;
+      Enqueue(-f.lit);
+      continue;
+    }
+    // Pick the next unassigned variable (scan resumes from the parent
+    // frame's cursor; within one branch the cursor only moves forward).
+    int v = 0;
+    for (int i = cursor; i <= NumVars(); ++i) {
+      if (assign_[static_cast<size_t>(i)] == kUndef) {
+        v = i;
+        break;
+      }
+    }
+    if (v == 0) return Result::kSat;
+    Lit decision = phase_[static_cast<size_t>(v)] ? v : -v;
+    frames.push_back({trail_.size(), decision, false, cursor});
+    cursor = v + 1;
+    Enqueue(decision);
+  }
+}
+
+}  // namespace chronos::sat

@@ -1,0 +1,201 @@
+// AION: the online timestamp-based isolation checker (paper Algorithm 3,
+// Sec. III-C). Receives transactions one by one in arbitrary cross-session
+// order (session order is preserved per session) and checks SI or SER
+// incrementally:
+//
+//   Step 1  check SESSION / INT / EXT for the new transaction;
+//   Step 2  re-check NOCONFLICT against transactions overlapping it
+//           (write-interval overlap on shared keys);
+//   Step 3  re-check EXT for transactions whose read view falls between
+//           the new transaction's commit and the next version of each
+//           written key.
+//
+// EXT verdicts are tentative until a per-transaction timeout expires
+// (Sec. IV-A); verdict switches are recorded as flip-flops (Sec. VI-C).
+// Garbage collection moves versions and write intervals below a safe
+// watermark to a disk spill store and reloads them when a straggler
+// arrives below the watermark (Algorithm 3 lines 62-66).
+#ifndef CHRONOS_CORE_AION_H_
+#define CHRONOS_CORE_AION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/flipflop_stats.h"
+#include "core/interval_tree.h"
+#include "core/spill.h"
+#include "core/types.h"
+#include "core/versioned_kv.h"
+#include "core/violation.h"
+
+namespace chronos {
+
+/// Online checker for SI (default) or SER histories.
+class Aion {
+ public:
+  /// Which isolation level to check. SER ignores start timestamps, uses
+  /// the commit timestamp as the read view, and skips NOCONFLICT
+  /// (paper Sec. VI-A).
+  enum class Mode { kSi, kSer };
+
+  struct Options {
+    Mode mode = Mode::kSi;
+    /// EXT verdicts become final this long after the transaction arrives
+    /// (the paper conservatively uses 5000 ms). Time is whatever unit the
+    /// caller passes to OnTransaction/AdvanceTime; tests use virtual ms.
+    uint64_t ext_timeout_ms = 5000;
+    /// Directory for the GC spill store. Empty disables persistence: GC
+    /// then discards evicted state, which is only safe when no arrival
+    /// ever dips below the GC watermark (fast mode for throughput
+    /// benches; stragglers below the watermark are counted in
+    /// Stats::unsafe_below_watermark instead of being re-checked).
+    std::string spill_dir;
+  };
+
+  /// Aggregate processing counters.
+  struct Stats {
+    uint64_t txns_processed = 0;
+    uint64_t ext_rechecks = 0;          ///< Step-3 reader re-evaluations
+    uint64_t noconflict_checks = 0;     ///< Step-2 overlap queries
+    uint64_t spill_reloads = 0;         ///< epochs loaded back from disk
+    uint64_t unsafe_below_watermark = 0;///< stragglers GC made unverifiable
+    uint64_t gc_passes = 0;
+  };
+
+  /// Live memory footprint, used by the Fig. 12/16 benches.
+  struct Footprint {
+    size_t live_txns = 0;
+    size_t versions = 0;
+    size_t intervals = 0;
+    size_t approx_bytes = 0;
+  };
+
+  Aion(const Options& options, ViolationSink* sink);
+  ~Aion();
+
+  Aion(const Aion&) = delete;
+  Aion& operator=(const Aion&) = delete;
+
+  /// Feeds one collected transaction. `now_ms` is the arrival time on the
+  /// checker's clock; it must be non-decreasing across calls.
+  void OnTransaction(const Transaction& t, uint64_t now_ms);
+
+  /// Fires all EXT timeouts with deadline <= now_ms, finalizing and
+  /// reporting their verdicts.
+  void AdvanceTime(uint64_t now_ms);
+
+  /// Garbage-collects versions, write intervals and transaction records
+  /// at or below `up_to` (clamped to the safe watermark: nothing an
+  /// unfinalized transaction might still need is evicted). Evicted state
+  /// goes to the spill store. Returns the effective watermark used.
+  Timestamp Gc(Timestamp up_to);
+
+  /// Convenience: GC so that at most `target` transaction records stay
+  /// resident (the paper's "maximum transaction limit" strategy).
+  void GcToLiveTarget(size_t target);
+
+  /// Finalizes every outstanding transaction (end of stream).
+  void Finish();
+
+  const Stats& stats() const { return stats_; }
+  const FlipFlopStats& flip_stats() const { return flip_stats_; }
+  Footprint GetFootprint() const;
+  /// Current GC watermark (kTsMin if GC never ran).
+  Timestamp watermark() const { return watermark_; }
+
+ private:
+  struct ExtReadState {
+    Key key = 0;
+    Value observed = kValueBottom;
+    bool satisfied = true;
+    uint32_t flips = 0;
+    uint64_t last_change_ms = 0;
+  };
+
+  struct TxnRec {
+    TxnId tid = 0;
+    Timestamp view_ts = 0;    // start_ts (SI) or commit_ts (SER)
+    Timestamp commit_ts = 0;
+    std::vector<ExtReadState> ext_reads;
+    bool finalized = false;
+  };
+
+  struct SessionState {
+    int64_t last_sno = -1;
+    Timestamp last_cts = kTsMin;
+    std::unordered_set<uint64_t> skipped_snos;
+  };
+
+  // Frontier lookup honoring the GC watermark: below it, consults the
+  // spill store (latest version of `key` at or before `view`).
+  VersionedKv::Lookup LookupFrontier(Key key, Timestamp view);
+  VersionedKv::Lookup LookupSpilled(Key key, Timestamp view);
+
+  void CheckSession(const Transaction& t);
+  void ReplayOps(const Transaction& t, TxnRec* rec, uint64_t now_ms,
+                 std::vector<std::pair<Key, Value>>* final_writes);
+  void InstallVersionAndRecheck(const Transaction& t, Key key, Value value,
+                                uint64_t now_ms);
+  void CheckNoConflict(const Transaction& t);
+  void FinalizeTxn(TxnRec* rec);
+  void FireDeadlines(uint64_t now_ms);
+
+  Options options_;
+  ViolationSink* sink_;
+  Stats stats_;
+  FlipFlopStats flip_stats_;
+
+  VersionedKv versions_;
+  OngoingIndex ongoing_;
+  SpillStore spill_;
+  std::vector<uint64_t> spill_epochs_;  // ids, in spill order
+  // Tiny cache of reloaded epochs (stragglers cluster in time).
+  mutable std::vector<std::pair<uint64_t, SpillPayload>> epoch_cache_;
+
+  std::unordered_map<TxnId, TxnRec> txns_;
+  std::map<Timestamp, TxnId> commit_index_;       // cts -> tid (live txns)
+  std::set<Timestamp> unfinalized_views_;
+  std::set<Timestamp> used_ts_;
+  std::unordered_map<SessionId, SessionState> sessions_;
+  // Per key: view_ts -> (tid, index into ext_reads). At most one external
+  // read per (txn, key), and view timestamps are unique per transaction.
+  std::unordered_map<Key, std::map<Timestamp, std::pair<TxnId, uint32_t>>>
+      reader_index_;
+  // (deadline, tid) min-heap for EXT timeouts.
+  std::priority_queue<std::pair<uint64_t, TxnId>,
+                      std::vector<std::pair<uint64_t, TxnId>>,
+                      std::greater<>>
+      deadlines_;
+  Timestamp watermark_ = kTsMin;
+  uint64_t last_now_ms_ = 0;
+};
+
+/// AION-SER: the online serializability checker (paper Sec. VI). Same
+/// engine with the SER read-view rule; exposed as its own type to mirror
+/// the paper's presentation.
+class AionSer : public Aion {
+ public:
+  AionSer(uint64_t ext_timeout_ms, ViolationSink* sink,
+          std::string spill_dir = "")
+      : Aion(MakeOptions(ext_timeout_ms, std::move(spill_dir)), sink) {}
+
+ private:
+  static Options MakeOptions(uint64_t timeout, std::string dir) {
+    Options o;
+    o.mode = Mode::kSer;
+    o.ext_timeout_ms = timeout;
+    o.spill_dir = std::move(dir);
+    return o;
+  }
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_AION_H_

@@ -1,0 +1,304 @@
+#include "core/chronos.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "core/event_timeline.h"
+#include "core/small_map.h"
+
+namespace chronos {
+namespace {
+
+// Per-transaction replay state (Algorithm 2's int_val[tid] / ext_val[tid] /
+// T.wkey). Released at the transaction's commit event (prompt GC).
+struct TxnState {
+  SmallMap<Key, Value> int_val;  // last value read-or-written per key
+  SmallMap<Key, Value> ext_val;  // last value written per key
+  std::vector<Key> wkey;         // keys written (insertion order, unique)
+};
+
+// Session bookkeeping (last_sno / last_cts of Algorithm 2).
+struct SessionState {
+  int64_t last_sno = -1;
+  Timestamp last_cts = kTsMin;
+  // snos of transactions excluded from replay (Eq. (1) violations); the
+  // SESSION contiguity check skips over them instead of false-firing.
+  std::unordered_set<uint64_t> skipped_snos;
+};
+
+// Checks the INT axiom of one transaction in isolation. INT only depends
+// on program order, never on timestamps, so it is checked even for
+// transactions whose timestamps are malformed.
+void CheckIntOnly(const Transaction& t, ViolationSink* sink) {
+  SmallMap<Key, Value> int_val;
+  for (const Op& op : t.ops) {
+    if (op.type == OpType::kWrite) {
+      int_val.Put(op.key, op.value);
+    } else if (op.type == OpType::kRead) {
+      if (const Value* v = int_val.Find(op.key)) {
+        if (*v != op.value) {
+          sink->Report({ViolationType::kInt, t.tid, kTxnNone, op.key, *v,
+                        op.value});
+        }
+        // Track the read value so later internal reads compare against it,
+        // mirroring int_val semantics (last read-or-written value).
+        int_val.Put(op.key, op.value);
+      } else {
+        int_val.Put(op.key, op.value);  // external read: EXT handled later
+      }
+    }
+  }
+}
+
+void AdvanceOverSkipped(SessionState* ss) {
+  while (ss->skipped_snos.erase(static_cast<uint64_t>(ss->last_sno + 1)) > 0) {
+    ++ss->last_sno;
+  }
+}
+
+}  // namespace
+
+Chronos::Chronos(const ChronosOptions& options, ViolationSink* sink)
+    : options_(options), sink_(sink) {}
+
+CheckStats Chronos::Check(History&& history) {
+  CheckStats stats;
+  stats.txns = history.txns.size();
+  stats.ops = history.NumOps();
+  CountingSink counted(0);
+
+  // ---- Pre-pass: Eq. (1) and duplicate-timestamp well-formedness. ----
+  Stopwatch sw;
+  std::unordered_map<SessionId, SessionState> sessions;
+  {
+    std::unordered_set<Timestamp> seen;
+    seen.reserve(history.txns.size() * 2);
+    for (const Transaction& t : history.txns) {
+      if (!t.TimestampsOrdered()) {
+        sink_->Report({ViolationType::kTsOrder, t.tid, kTxnNone, 0,
+                       static_cast<Value>(t.start_ts),
+                       static_cast<Value>(t.commit_ts)});
+        counted.Report({ViolationType::kTsOrder, t.tid});
+        CheckIntOnly(t, sink_);
+        sessions[t.sid].skipped_snos.insert(t.sno);
+        continue;
+      }
+      if (!seen.insert(t.start_ts).second ||
+          (t.commit_ts != t.start_ts && !seen.insert(t.commit_ts).second)) {
+        sink_->Report({ViolationType::kTsDuplicate, t.tid});
+        counted.Report({ViolationType::kTsDuplicate, t.tid});
+      }
+    }
+  }
+
+  // ---- Sorting stage (Algorithm 2 line 2). ----
+  std::vector<Event> events = BuildSortedEvents(history);
+  stats.sort_seconds = sw.Seconds();
+  sw.Reset();
+
+  // ---- Checking stage: simulate in timestamp order. ----
+  std::unordered_map<Key, Value> frontier;
+  std::unordered_map<Key, std::vector<TxnId>> ongoing;
+  std::unordered_map<TxnId, TxnState> live;
+  live.reserve(1024);
+
+  uint64_t commits_since_gc = 0;
+  double gc_seconds = 0;
+  std::vector<uint32_t> committed_since_gc;
+
+  for (const Event& ev : events) {
+    Transaction& t = history.txns[ev.txn_index];
+    if (ev.kind == EventKind::kStart) {
+      // SESSION (Algorithm 2 lines 7-10).
+      SessionState& ss = sessions[t.sid];
+      AdvanceOverSkipped(&ss);
+      if (static_cast<int64_t>(t.sno) != ss.last_sno + 1 ||
+          t.start_ts < ss.last_cts) {
+        sink_->Report({ViolationType::kSession, t.tid, kTxnNone, 0,
+                       static_cast<Value>(ss.last_sno + 1),
+                       static_cast<Value>(t.sno)});
+        counted.Report({ViolationType::kSession, t.tid});
+      }
+      ss.last_sno = static_cast<int64_t>(t.sno);
+      ss.last_cts = t.commit_ts;
+
+      // INT and EXT per operation (lines 11-22).
+      TxnState& st = live[t.tid];
+      for (const Op& op : t.ops) {
+        if (op.type == OpType::kRead) {
+          if (Value* iv = st.int_val.Find(op.key)) {
+            if (*iv != op.value) {
+              sink_->Report({ViolationType::kInt, t.tid, kTxnNone, op.key,
+                             *iv, op.value});
+              counted.Report({ViolationType::kInt, t.tid});
+            }
+            st.int_val.Put(op.key, op.value);
+          } else {
+            auto fit = frontier.find(op.key);
+            Value expect = fit == frontier.end() ? kValueInit : fit->second;
+            if (op.value != expect) {
+              sink_->Report({ViolationType::kExt, t.tid, kTxnNone, op.key,
+                             expect, op.value});
+              counted.Report({ViolationType::kExt, t.tid});
+            }
+            st.int_val.Put(op.key, op.value);
+          }
+        } else if (op.type == OpType::kWrite) {
+          if (!st.ext_val.Find(op.key)) st.wkey.push_back(op.key);
+          st.ext_val.Put(op.key, op.value);
+          st.int_val.Put(op.key, op.value);
+          auto& og = ongoing[op.key];
+          if (std::find(og.begin(), og.end(), t.tid) == og.end()) {
+            og.push_back(t.tid);
+          }
+        }
+      }
+    } else {
+      // Commit event: NOCONFLICT and frontier update (lines 23-33).
+      auto lit = live.find(t.tid);
+      if (lit == live.end()) continue;  // defensive; start always precedes
+      TxnState& st = lit->second;
+      for (Key k : st.wkey) {
+        auto& og = ongoing[k];
+        og.erase(std::remove(og.begin(), og.end(), t.tid), og.end());
+        for (TxnId other : og) {
+          sink_->Report({ViolationType::kNoConflict, t.tid, other, k});
+          counted.Report({ViolationType::kNoConflict, t.tid});
+        }
+        frontier[k] = *st.ext_val.Find(k);
+      }
+      live.erase(lit);                    // prompt GC of int_val/ext_val
+      committed_since_gc.push_back(ev.txn_index);
+
+      if (options_.gc_every_n_txns > 0 &&
+          ++commits_since_gc >= options_.gc_every_n_txns) {
+        Stopwatch gc_sw;
+        commits_since_gc = 0;
+        ++stats.gc_passes;
+        // Release operation storage of processed transactions (T <- T\{T})
+        // and shed container slack so memory actually returns to the OS
+        // allocator (Fig. 10's sawtooth).
+        for (uint32_t idx : committed_since_gc) {
+          Transaction& done = history.txns[idx];
+          done.ops.clear();
+          done.ops.shrink_to_fit();
+          done.list_args.clear();
+          done.list_args.shrink_to_fit();
+        }
+        committed_since_gc.clear();
+        committed_since_gc.shrink_to_fit();
+        std::unordered_map<Key, std::vector<TxnId>> compact_ongoing;
+        for (auto& [k, v] : ongoing) {
+          if (!v.empty()) compact_ongoing.emplace(k, std::move(v));
+        }
+        ongoing = std::move(compact_ongoing);
+#if defined(__GLIBC__)
+        if (options_.trim_on_gc) malloc_trim(0);
+#endif
+        gc_seconds += gc_sw.Seconds();
+      }
+    }
+  }
+
+  stats.check_seconds = sw.Seconds() - gc_seconds;
+  stats.gc_seconds = gc_seconds;
+  stats.violations = counted.total();
+  return stats;
+}
+
+CheckStats Chronos::CheckHistory(const History& history, ViolationSink* sink) {
+  Chronos checker(ChronosOptions{}, sink);
+  History copy = history;
+  return checker.Check(std::move(copy));
+}
+
+CheckStats ChronosSer::Check(History&& history) {
+  CheckStats stats;
+  stats.txns = history.txns.size();
+  stats.ops = history.NumOps();
+  CountingSink counted(0);
+
+  Stopwatch sw;
+  // SER replay order: commit timestamps only (start timestamps ignored).
+  std::vector<uint32_t> order(history.txns.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Transaction &ta = history.txns[a], &tb = history.txns[b];
+    if (ta.commit_ts != tb.commit_ts) return ta.commit_ts < tb.commit_ts;
+    return ta.tid < tb.tid;
+  });
+  {
+    std::unordered_set<Timestamp> seen;
+    seen.reserve(history.txns.size());
+    for (const Transaction& t : history.txns) {
+      if (!seen.insert(t.commit_ts).second) {
+        sink_->Report({ViolationType::kTsDuplicate, t.tid});
+        counted.Report({ViolationType::kTsDuplicate, t.tid});
+      }
+    }
+  }
+  stats.sort_seconds = sw.Seconds();
+  sw.Reset();
+
+  std::unordered_map<Key, Value> frontier;
+  std::unordered_map<SessionId, int64_t> last_sno;
+  SmallMap<Key, Value> int_val;
+
+  for (uint32_t idx : order) {
+    const Transaction& t = history.txns[idx];
+    auto [sit, inserted] = last_sno.emplace(t.sid, -1);
+    // SESSION under SER: commit order must extend session order, i.e. the
+    // per-session sequence numbers appear consecutively in replay order.
+    if (static_cast<int64_t>(t.sno) != sit->second + 1) {
+      sink_->Report({ViolationType::kSession, t.tid, kTxnNone, 0,
+                     static_cast<Value>(sit->second + 1),
+                     static_cast<Value>(t.sno)});
+      counted.Report({ViolationType::kSession, t.tid});
+    }
+    sit->second = static_cast<int64_t>(t.sno);
+
+    int_val.Clear();
+    for (const Op& op : t.ops) {
+      if (op.type == OpType::kRead) {
+        if (Value* iv = int_val.Find(op.key)) {
+          if (*iv != op.value) {
+            sink_->Report({ViolationType::kInt, t.tid, kTxnNone, op.key, *iv,
+                           op.value});
+            counted.Report({ViolationType::kInt, t.tid});
+          }
+        } else {
+          auto fit = frontier.find(op.key);
+          Value expect = fit == frontier.end() ? kValueInit : fit->second;
+          if (op.value != expect) {
+            sink_->Report({ViolationType::kExt, t.tid, kTxnNone, op.key,
+                           expect, op.value});
+            counted.Report({ViolationType::kExt, t.tid});
+          }
+        }
+        int_val.Put(op.key, op.value);
+      } else if (op.type == OpType::kWrite) {
+        int_val.Put(op.key, op.value);
+        frontier[op.key] = op.value;  // applied in commit order
+      }
+    }
+  }
+
+  stats.check_seconds = sw.Seconds();
+  stats.violations = counted.total();
+  return stats;
+}
+
+CheckStats ChronosSer::CheckHistory(const History& history,
+                                    ViolationSink* sink) {
+  ChronosSer checker(sink);
+  History copy = history;
+  return checker.Check(std::move(copy));
+}
+
+}  // namespace chronos

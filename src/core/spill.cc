@@ -1,0 +1,94 @@
+#include "core/spill.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace chronos {
+namespace {
+
+bool WriteU64(FILE* f, uint64_t v) { return fwrite(&v, 8, 1, f) == 1; }
+bool ReadU64(FILE* f, uint64_t* v) { return fread(v, 8, 1, f) == 1; }
+
+}  // namespace
+
+SpillStore::SpillStore(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) dir_.clear();  // fall back to discard mode
+  }
+}
+
+std::string SpillStore::PathFor(uint64_t id) const {
+  return dir_ + "/spill-" + std::to_string(id) + ".bin";
+}
+
+uint64_t SpillStore::Spill(const SpillPayload& payload) {
+  if (payload.Empty()) return 0;
+  if (!persistent()) return 0;
+  uint64_t id = next_id_++;
+  FILE* f = fopen(PathFor(id).c_str(), "wb");
+  if (!f) return 0;
+  bool ok = WriteU64(f, payload.max_ts);
+  ok = ok && WriteU64(f, payload.versions.size());
+  for (const auto& [k, ts, e] : payload.versions) {
+    ok = ok && WriteU64(f, k) && WriteU64(f, ts) &&
+         WriteU64(f, static_cast<uint64_t>(e.value)) && WriteU64(f, e.tid);
+  }
+  ok = ok && WriteU64(f, payload.intervals.size());
+  for (const auto& [k, iv] : payload.intervals) {
+    ok = ok && WriteU64(f, k) && WriteU64(f, iv.start) &&
+         WriteU64(f, iv.end) && WriteU64(f, iv.tid);
+  }
+  fclose(f);
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(PathFor(id), ec);
+    return 0;
+  }
+  epochs_[id] = payload.max_ts;
+  return id;
+}
+
+bool SpillStore::Load(uint64_t epoch_id, SpillPayload* out) const {
+  if (!persistent() || epochs_.find(epoch_id) == epochs_.end()) return false;
+  FILE* f = fopen(PathFor(epoch_id).c_str(), "rb");
+  if (!f) return false;
+  out->versions.clear();
+  out->intervals.clear();
+  uint64_t n = 0;
+  bool ok = ReadU64(f, &out->max_ts) && ReadU64(f, &n);
+  for (uint64_t i = 0; ok && i < n; ++i) {
+    uint64_t k, ts, v, tid;
+    ok = ReadU64(f, &k) && ReadU64(f, &ts) && ReadU64(f, &v) &&
+         ReadU64(f, &tid);
+    if (ok) {
+      out->versions.emplace_back(
+          k, ts, VersionEntry{static_cast<Value>(v), tid});
+    }
+  }
+  uint64_t m = 0;
+  ok = ok && ReadU64(f, &m);
+  for (uint64_t i = 0; ok && i < m; ++i) {
+    uint64_t k, s, e, tid;
+    ok = ReadU64(f, &k) && ReadU64(f, &s) && ReadU64(f, &e) && ReadU64(f, &tid);
+    if (ok) out->intervals.emplace_back(k, WriteInterval{s, e, tid});
+  }
+  fclose(f);
+  return ok;
+}
+
+std::vector<uint64_t> SpillStore::EpochsAtOrBelow(Timestamp ts) const {
+  std::vector<uint64_t> ids;
+  for (const auto& [id, max_ts] : epochs_) {
+    (void)max_ts;
+    // Epoch contents are bounded above by max_ts but unbounded below, so
+    // any epoch may intersect [0, ts]; filter only those entirely above.
+    if (ts == 0) continue;
+    ids.push_back(id);
+  }
+  (void)ts;
+  return ids;
+}
+
+}  // namespace chronos

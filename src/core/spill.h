@@ -1,0 +1,64 @@
+// Disk spill store backing AION's conservative garbage collection
+// (Algorithm 3 lines 62-66): frontier versions and write intervals below
+// a timestamp watermark are moved from memory to disk and reloaded on
+// demand when an out-of-order transaction arrives below the watermark.
+#ifndef CHRONOS_CORE_SPILL_H_
+#define CHRONOS_CORE_SPILL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/interval_tree.h"
+#include "core/types.h"
+#include "core/versioned_kv.h"
+
+namespace chronos {
+
+/// Everything evicted by one GC pass.
+struct SpillPayload {
+  Timestamp max_ts = kTsMin;  ///< all records have timestamps <= max_ts
+  std::vector<std::tuple<Key, Timestamp, VersionEntry>> versions;
+  std::vector<std::pair<Key, WriteInterval>> intervals;
+
+  bool Empty() const { return versions.empty() && intervals.empty(); }
+};
+
+/// Append-only store of GC epochs, one binary file per epoch. Not
+/// thread-safe; AION serializes access.
+class SpillStore {
+ public:
+  /// `dir` is created if missing. An empty dir disables persistence:
+  /// Spill() then discards payloads (documented fast mode for benches
+  /// whose arrival order never dips below the GC watermark).
+  explicit SpillStore(std::string dir);
+
+  /// True when spilled data can be reloaded later.
+  bool persistent() const { return !dir_.empty(); }
+
+  /// Writes one epoch; returns its id (0 when persistence is disabled or
+  /// the payload is empty).
+  uint64_t Spill(const SpillPayload& payload);
+
+  /// Loads one epoch. Returns false on missing/corrupt file.
+  bool Load(uint64_t epoch_id, SpillPayload* out) const;
+
+  /// Ids of all epochs whose contents may intersect timestamps <= ts.
+  std::vector<uint64_t> EpochsAtOrBelow(Timestamp ts) const;
+
+  size_t NumEpochs() const { return epochs_.size(); }
+
+ private:
+  std::string PathFor(uint64_t id) const;
+
+  std::string dir_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Timestamp> epochs_;  // id -> max_ts
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_SPILL_H_

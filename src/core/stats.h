@@ -1,0 +1,46 @@
+// Stage timing and result statistics shared by the offline checkers
+// (used by the Fig. 8/9/24 decomposition benches).
+#ifndef CHRONOS_CORE_STATS_H_
+#define CHRONOS_CORE_STATS_H_
+
+#include <chrono>
+#include <cstddef>
+
+namespace chronos {
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Result of an offline check, decomposed by stage (paper Sec. V-C1:
+/// loading / sorting / checking / GC). Loading happens in the history
+/// codec; its time is filled in by the caller.
+struct CheckStats {
+  double load_seconds = 0;
+  double sort_seconds = 0;
+  double check_seconds = 0;
+  double gc_seconds = 0;
+  size_t txns = 0;
+  size_t ops = 0;
+  size_t violations = 0;
+  size_t gc_passes = 0;
+
+  double TotalSeconds() const {
+    return load_seconds + sort_seconds + check_seconds + gc_seconds;
+  }
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_STATS_H_

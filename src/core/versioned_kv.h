@@ -1,0 +1,137 @@
+// The timestamp-versioned frontier (`frontier_ts` of Algorithm 3), stored
+// per key as an ordered map commit_ts -> value. See DESIGN.md Sec. 1.1:
+// per-key version storage makes the paper's lines 3:56-57 (propagating a
+// late writer's value into later frontier versions) automatic.
+#ifndef CHRONOS_CORE_VERSIONED_KV_H_
+#define CHRONOS_CORE_VERSIONED_KV_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace chronos {
+
+/// One committed version of a key.
+struct VersionEntry {
+  Value value = kValueInit;
+  TxnId tid = kTxnNone;
+};
+
+/// A multi-version register map with "latest version at or before ts"
+/// queries. All operations are amortized O(log V) in the number of live
+/// versions of the queried key.
+class VersionedKv {
+ public:
+  using VersionMap = std::map<Timestamp, VersionEntry>;
+
+  /// Result of a frontier query.
+  struct Lookup {
+    Value value = kValueInit;      ///< kValueInit if no version qualifies
+    TxnId tid = kTxnNone;          ///< writer, kTxnNone for the initial value
+    Timestamp ts = kTsMin;         ///< commit ts of the version (kTsMin: init)
+  };
+
+  /// Inserts the version (ts -> value by tid) for `key`. Returns false if a
+  /// version with the same timestamp already exists (duplicate commit ts).
+  bool Put(Key key, Timestamp ts, Value value, TxnId tid) {
+    auto [it, ok] = versions_[key].emplace(ts, VersionEntry{value, tid});
+    (void)it;
+    return ok;
+  }
+
+  /// The latest version with commit ts <= `ts` (paper's frontier_ts[ts^]).
+  /// Falls back to the initial value when no committed version qualifies.
+  Lookup GetAtOrBefore(Key key, Timestamp ts) const {
+    return GetBound(key, ts, /*inclusive=*/true);
+  }
+
+  /// The latest version with commit ts strictly < `ts` (SER read view).
+  Lookup GetBefore(Key key, Timestamp ts) const {
+    return GetBound(key, ts, /*inclusive=*/false);
+  }
+
+  /// Commit timestamp of the next version of `key` strictly after `ts`, or
+  /// nullopt. Used to bound EXT re-checking (Step 3 of Algorithm 3): a late
+  /// writer at ts affects only readers with view timestamps before this.
+  std::optional<Timestamp> NextVersionAfter(Key key, Timestamp ts) const {
+    auto it = versions_.find(key);
+    if (it == versions_.end()) return std::nullopt;
+    auto vit = it->second.upper_bound(ts);
+    if (vit == it->second.end()) return std::nullopt;
+    return vit->first;
+  }
+
+  /// Number of live versions across all keys.
+  size_t TotalVersions() const {
+    size_t n = 0;
+    for (const auto& [k, m] : versions_) n += m.size();
+    return n;
+  }
+
+  size_t NumKeys() const { return versions_.size(); }
+
+  /// Garbage-collects versions with commit ts <= `ts`, keeping per key the
+  /// single latest qualifying version as the "base" so that queries at or
+  /// above `ts` stay answerable. Evicted versions are appended to `evicted`
+  /// (for spilling to disk) when non-null. Returns the eviction count.
+  size_t CollectUpTo(Timestamp ts,
+                     std::vector<std::tuple<Key, Timestamp, VersionEntry>>*
+                         evicted = nullptr) {
+    size_t n = 0;
+    for (auto& [key, vmap] : versions_) {
+      auto end = vmap.upper_bound(ts);
+      if (end == vmap.begin()) continue;
+      --end;  // keep the latest version <= ts as the base
+      for (auto it = vmap.begin(); it != end;) {
+        if (evicted) evicted->emplace_back(key, it->first, it->second);
+        it = vmap.erase(it);
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Re-inserts a previously evicted version (spill reload path).
+  void Restore(Key key, Timestamp ts, const VersionEntry& e) {
+    versions_[key].emplace(ts, e);
+  }
+
+  /// Direct access to a key's version map (for tests/inspection).
+  const VersionMap* Find(Key key) const {
+    auto it = versions_.find(key);
+    return it == versions_.end() ? nullptr : &it->second;
+  }
+
+  /// Approximate heap footprint in bytes (for the memory figures).
+  size_t ApproxBytes() const {
+    // unordered_map bucket + per-node overhead estimates; close enough for
+    // the relative memory curves of Fig. 7/10/16.
+    size_t bytes = versions_.bucket_count() * sizeof(void*);
+    for (const auto& [k, m] : versions_) {
+      (void)k;
+      bytes += 64 + m.size() * (sizeof(Timestamp) + sizeof(VersionEntry) + 48);
+    }
+    return bytes;
+  }
+
+ private:
+  Lookup GetBound(Key key, Timestamp ts, bool inclusive) const {
+    auto it = versions_.find(key);
+    if (it == versions_.end()) return Lookup{};
+    const VersionMap& m = it->second;
+    auto vit = inclusive ? m.upper_bound(ts) : m.lower_bound(ts);
+    if (vit == m.begin()) return Lookup{};
+    --vit;
+    return Lookup{vit->second.value, vit->second.tid, vit->first};
+  }
+
+  std::unordered_map<Key, VersionMap> versions_;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_VERSIONED_KV_H_

@@ -1,0 +1,70 @@
+#include "core/violation.h"
+
+#include <sstream>
+
+namespace chronos {
+
+std::string ToString(const Op& op) {
+  std::ostringstream os;
+  switch (op.type) {
+    case OpType::kRead: os << "R(" << op.key << "," << op.value << ")"; break;
+    case OpType::kWrite: os << "W(" << op.key << "," << op.value << ")"; break;
+    case OpType::kAppend: os << "A(" << op.key << "," << op.value << ")"; break;
+    case OpType::kReadList: os << "L(" << op.key << ",#" << op.list_index << ")"; break;
+  }
+  return os.str();
+}
+
+const char* ViolationTypeName(ViolationType t) {
+  switch (t) {
+    case ViolationType::kSession: return "SESSION";
+    case ViolationType::kInt: return "INT";
+    case ViolationType::kExt: return "EXT";
+    case ViolationType::kNoConflict: return "NOCONFLICT";
+    case ViolationType::kTsOrder: return "TS-ORDER";
+    case ViolationType::kTsDuplicate: return "TS-DUP";
+  }
+  return "?";
+}
+
+std::string Violation::ToString() const {
+  std::ostringstream os;
+  os << ViolationTypeName(type) << " txn=" << tid;
+  if (other_tid != kTxnNone) os << " other=" << other_tid;
+  os << " key=" << key;
+  if (expected != kValueBottom) os << " expected=" << expected;
+  if (got != kValueBottom) os << " got=" << got;
+  return os.str();
+}
+
+void CountingSink::Report(const Violation& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  ++by_type_[static_cast<uint8_t>(v.type)];
+  if (first_.size() < keep_first_) first_.push_back(v);
+}
+
+size_t CountingSink::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+size_t CountingSink::count(ViolationType t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_type_.find(static_cast<uint8_t>(t));
+  return it == by_type_.end() ? 0 : it->second;
+}
+
+std::vector<Violation> CountingSink::first() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_;
+}
+
+void CountingSink::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ = 0;
+  by_type_.clear();
+  first_.clear();
+}
+
+}  // namespace chronos

@@ -1,0 +1,104 @@
+// Violation taxonomy and reporting sinks. Checkers never abort on the
+// first violation: they report and continue (paper Sec. III-C2).
+#ifndef CHRONOS_CORE_VIOLATION_H_
+#define CHRONOS_CORE_VIOLATION_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace chronos {
+
+/// The axiom (or well-formedness condition) a violation falls under.
+enum class ViolationType : uint8_t {
+  kSession,      ///< SESSION axiom: session order or sno gap broken
+  kInt,          ///< INT axiom: internal read disagrees with prior op
+  kExt,          ///< EXT axiom: external read disagrees with the frontier
+  kNoConflict,   ///< NOCONFLICT axiom: overlapping writers on a key
+  kTsOrder,      ///< Eq. (1): start_ts > commit_ts
+  kTsDuplicate,  ///< two distinct transactions share a timestamp
+};
+
+/// Name of a violation type, e.g. "EXT".
+const char* ViolationTypeName(ViolationType t);
+
+/// One detected violation. `other_tid` is the conflicting transaction for
+/// NOCONFLICT (kTxnNone otherwise). For read-related violations `expected`
+/// is what a correct execution would have returned and `got` what the
+/// history recorded.
+struct Violation {
+  ViolationType type = ViolationType::kExt;
+  TxnId tid = 0;
+  TxnId other_tid = kTxnNone;
+  Key key = 0;
+  Value expected = kValueBottom;
+  Value got = kValueBottom;
+
+  std::string ToString() const;
+};
+
+/// Receiver of violation reports. Implementations must tolerate concurrent
+/// Report() calls when used from the online pipeline.
+class ViolationSink {
+ public:
+  virtual ~ViolationSink() = default;
+  virtual void Report(const Violation& v) = 0;
+};
+
+/// Counts violations per type; optionally retains the first `keep_first`
+/// full records for inspection. Thread-safe.
+class CountingSink : public ViolationSink {
+ public:
+  explicit CountingSink(size_t keep_first = 256) : keep_first_(keep_first) {}
+
+  void Report(const Violation& v) override;
+
+  /// Total violations reported.
+  size_t total() const;
+  /// Violations reported for a given type.
+  size_t count(ViolationType t) const;
+  /// The first retained violation records (up to `keep_first`).
+  std::vector<Violation> first() const;
+  /// Drops all recorded state.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  size_t keep_first_;
+  size_t total_ = 0;
+  std::unordered_map<uint8_t, size_t> by_type_;
+  std::vector<Violation> first_;
+};
+
+/// Retains every violation. Thread-safe. Intended for tests.
+class VectorSink : public ViolationSink {
+ public:
+  void Report(const Violation& v) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    violations_.push_back(v);
+  }
+  std::vector<Violation> TakeAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(violations_);
+  }
+  std::vector<Violation> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_VIOLATION_H_

@@ -1,0 +1,66 @@
+// Fault injection for the Algorithm-1 database (paper Sec. V-D: a real
+// clock-skew bug plus injected timestamp faults). Engine faults corrupt
+// the execution itself; recording faults corrupt only the history handed
+// to the checkers, modelling buggy CDC/WAL timestamp extraction. Every
+// injected fault is counted so tests can assert detection.
+#ifndef CHRONOS_DB_FAULT_H_
+#define CHRONOS_DB_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace chronos::db {
+
+/// Probabilities are per opportunity (per read, per commit, ...).
+struct FaultConfig {
+  // --- engine faults (the database itself misbehaves) ---
+  /// Skip first-committer-wins validation: permits lost updates, so the
+  /// NOCONFLICT axiom fails for the overlapping writers.
+  double lost_update_prob = 0;
+  /// Serve a read from a snapshot `stale_depth` versions older than the
+  /// correct one: EXT violations.
+  double stale_read_prob = 0;
+  uint32_t stale_depth = 1;
+
+  // --- recording faults (history extraction is wrong) ---
+  /// Record commit_ts := start_ts, making the transaction appear to
+  /// commit instantly at its snapshot: timestamp-based checkers see EXT /
+  /// NOCONFLICT divergence that black-box checkers cannot (Fig. 11).
+  double early_commit_prob = 0;
+  /// Record start_ts := commit_ts (snapshot appears taken at commit).
+  double late_start_prob = 0;
+  /// Record a read value off by one: EXT (or INT) violations.
+  double value_corruption_prob = 0;
+  /// Swap the session sequence numbers of two adjacent transactions in
+  /// the same session: SESSION violations.
+  double session_reorder_prob = 0;
+  /// Record start/commit swapped where it breaks Eq. (1).
+  double ts_swap_prob = 0;
+
+  bool AnyEnabled() const {
+    return lost_update_prob > 0 || stale_read_prob > 0 ||
+           early_commit_prob > 0 || late_start_prob > 0 ||
+           value_corruption_prob > 0 || session_reorder_prob > 0 ||
+           ts_swap_prob > 0;
+  }
+};
+
+/// Counters of faults actually injected (ground truth for tests).
+struct FaultLog {
+  std::atomic<uint64_t> lost_updates{0};
+  std::atomic<uint64_t> stale_reads{0};
+  std::atomic<uint64_t> early_commits{0};
+  std::atomic<uint64_t> late_starts{0};
+  std::atomic<uint64_t> value_corruptions{0};
+  std::atomic<uint64_t> session_reorders{0};
+  std::atomic<uint64_t> ts_swaps{0};
+
+  uint64_t Total() const {
+    return lost_updates + stale_reads + early_commits + late_starts +
+           value_corruptions + session_reorders + ts_swaps;
+  }
+};
+
+}  // namespace chronos::db
+
+#endif  // CHRONOS_DB_FAULT_H_

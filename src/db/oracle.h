@@ -1,0 +1,73 @@
+// Timestamp oracles (paper Sec. II-A's time oracle O, Appendix A/B).
+// The centralized oracle models TiDB's Placement Driver / Dgraph's Zero
+// group: strictly increasing, unique timestamps. The HLC oracle models
+// YugabyteDB's decentralized hybrid logical clocks: per-node clocks with
+// bounded skew whose timestamps are unique but not globally monotonic in
+// real-time order.
+#ifndef CHRONOS_DB_ORACLE_H_
+#define CHRONOS_DB_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+
+namespace chronos::db {
+
+/// Issues unique, totally ordered timestamps. `node` selects the issuing
+/// node for decentralized implementations and is ignored by centralized
+/// ones. Thread-safe.
+class TimestampOracle {
+ public:
+  virtual ~TimestampOracle() = default;
+  virtual Timestamp Next(uint32_t node) = 0;
+};
+
+/// Strictly increasing atomic counter (TiDB PD / Dgraph Zero model).
+class CentralizedOracle : public TimestampOracle {
+ public:
+  explicit CentralizedOracle(Timestamp first = 1) : next_(first) {}
+  Timestamp Next(uint32_t /*node*/) override { return next_.fetch_add(1); }
+
+ private:
+  std::atomic<Timestamp> next_;
+};
+
+/// Hybrid logical clock per node (YugabyteDB model). The "physical" part
+/// is a shared tick counter offset by a per-node skew; the logical part
+/// and the node id guarantee uniqueness. With zero skew the output is
+/// causally monotonic; with skew, cross-node timestamp inversions occur,
+/// reproducing the clock-skew anomalies of paper Sec. V-D.
+class HlcOracle : public TimestampOracle {
+ public:
+  /// `skews[i]` is added to node i's physical reading (may be negative).
+  HlcOracle(uint32_t nodes, std::vector<int64_t> skews)
+      : skews_(std::move(skews)), last_(nodes, 0) {
+    skews_.resize(nodes, 0);
+  }
+
+  Timestamp Next(uint32_t node) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    node %= last_.size();
+    uint64_t physical = static_cast<uint64_t>(
+        static_cast<int64_t>(ticks_.fetch_add(1) + 1000000) + skews_[node]);
+    // Layout: [physical | 8-bit logical | 8-bit node]; the logical part
+    // makes a node's own outputs strictly increasing.
+    uint64_t candidate = physical << 16;
+    uint64_t next = std::max(candidate, last_[node] + (1u << 8));
+    last_[node] = next;
+    return next | node;
+  }
+
+ private:
+  std::mutex mu_;
+  std::atomic<uint64_t> ticks_{0};
+  std::vector<int64_t> skews_;
+  std::vector<uint64_t> last_;
+};
+
+}  // namespace chronos::db
+
+#endif  // CHRONOS_DB_ORACLE_H_

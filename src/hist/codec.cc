@@ -1,0 +1,121 @@
+#include "hist/codec.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace chronos::hist {
+
+CodecStatus SaveHistory(const History& history, const std::string& path) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (!f) return CodecStatus::Error("cannot open for write: " + path);
+  fprintf(f, "chronos-history v1 sessions=%u txns=%zu\n", history.num_sessions,
+          history.txns.size());
+  for (const Transaction& t : history.txns) {
+    fprintf(f, "T %" PRIu64 " %u %" PRIu64 " %" PRIu64 " %" PRIu64 " %zu\n",
+            t.tid, t.sid, t.sno, t.start_ts, t.commit_ts, t.ops.size());
+    for (const Op& op : t.ops) {
+      switch (op.type) {
+        case OpType::kRead:
+          fprintf(f, "R %" PRIu64 " %" PRId64 "\n", op.key, op.value);
+          break;
+        case OpType::kWrite:
+          fprintf(f, "W %" PRIu64 " %" PRId64 "\n", op.key, op.value);
+          break;
+        case OpType::kAppend:
+          fprintf(f, "A %" PRIu64 " %" PRId64 "\n", op.key, op.value);
+          break;
+        case OpType::kReadList: {
+          const auto& elems = t.list_args[op.list_index];
+          fprintf(f, "L %" PRIu64 " %zu", op.key, elems.size());
+          for (Value e : elems) fprintf(f, " %" PRId64, e);
+          fprintf(f, "\n");
+          break;
+        }
+      }
+    }
+  }
+  bool ok = fflush(f) == 0;
+  fclose(f);
+  return ok ? CodecStatus::Ok() : CodecStatus::Error("flush failed: " + path);
+}
+
+CodecStatus LoadHistory(const std::string& path, History* out) {
+  FILE* f = fopen(path.c_str(), "r");
+  if (!f) return CodecStatus::Error("cannot open for read: " + path);
+  out->txns.clear();
+  out->num_sessions = 0;
+
+  size_t declared_txns = 0;
+  if (fscanf(f, "chronos-history v1 sessions=%u txns=%zu\n",
+             &out->num_sessions, &declared_txns) != 2) {
+    fclose(f);
+    return CodecStatus::Error("bad header in " + path);
+  }
+  out->txns.reserve(declared_txns);
+
+  char tag[4];
+  while (fscanf(f, "%3s", tag) == 1) {
+    if (strcmp(tag, "T") != 0) {
+      fclose(f);
+      return CodecStatus::Error("expected transaction record, got tag: " +
+                                std::string(tag));
+    }
+    Transaction t;
+    size_t nops = 0;
+    if (fscanf(f, "%" SCNu64 " %u %" SCNu64 " %" SCNu64 " %" SCNu64 " %zu",
+               &t.tid, &t.sid, &t.sno, &t.start_ts, &t.commit_ts,
+               &nops) != 6) {
+      fclose(f);
+      return CodecStatus::Error("malformed transaction header");
+    }
+    t.ops.reserve(nops);
+    for (size_t i = 0; i < nops; ++i) {
+      if (fscanf(f, "%3s", tag) != 1) {
+        fclose(f);
+        return CodecStatus::Error("truncated operation list");
+      }
+      Op op;
+      if (strcmp(tag, "R") == 0 || strcmp(tag, "W") == 0 ||
+          strcmp(tag, "A") == 0) {
+        op.type = tag[0] == 'R'   ? OpType::kRead
+                  : tag[0] == 'W' ? OpType::kWrite
+                                  : OpType::kAppend;
+        if (fscanf(f, "%" SCNu64 " %" SCNd64, &op.key, &op.value) != 2) {
+          fclose(f);
+          return CodecStatus::Error("malformed register op");
+        }
+      } else if (strcmp(tag, "L") == 0) {
+        op.type = OpType::kReadList;
+        size_t n = 0;
+        if (fscanf(f, "%" SCNu64 " %zu", &op.key, &n) != 2) {
+          fclose(f);
+          return CodecStatus::Error("malformed list read header");
+        }
+        std::vector<Value> elems(n);
+        for (size_t j = 0; j < n; ++j) {
+          if (fscanf(f, "%" SCNd64, &elems[j]) != 1) {
+            fclose(f);
+            return CodecStatus::Error("truncated list read");
+          }
+        }
+        op.list_index = static_cast<uint32_t>(t.list_args.size());
+        t.list_args.push_back(std::move(elems));
+      } else {
+        fclose(f);
+        return CodecStatus::Error("unknown op tag: " + std::string(tag));
+      }
+      t.ops.push_back(op);
+    }
+    out->txns.push_back(std::move(t));
+  }
+  fclose(f);
+  if (out->txns.size() != declared_txns) {
+    return CodecStatus::Error("header declared " +
+                              std::to_string(declared_txns) + " txns, found " +
+                              std::to_string(out->txns.size()));
+  }
+  return CodecStatus::Ok();
+}
+
+}  // namespace chronos::hist

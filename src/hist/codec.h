@@ -1,0 +1,38 @@
+// Text serialization of histories. The offline benches measure the
+// "loading" stage of Fig. 8/9/24 through this codec; the format is
+// line-oriented so histories are diffable and easy to inspect:
+//
+//   chronos-history v1 sessions=<n> txns=<m>
+//   T <tid> <sid> <sno> <start_ts> <commit_ts> <nops>
+//   R <key> <value>        (one line per op, in program order)
+//   W <key> <value>
+//   A <key> <elem>
+//   L <key> <n> <e1> ... <en>
+#ifndef CHRONOS_HIST_CODEC_H_
+#define CHRONOS_HIST_CODEC_H_
+
+#include <string>
+
+#include "core/types.h"
+
+namespace chronos::hist {
+
+/// Success/error result for codec operations.
+struct CodecStatus {
+  bool ok = true;
+  std::string message;
+
+  static CodecStatus Ok() { return {}; }
+  static CodecStatus Error(std::string msg) { return {false, std::move(msg)}; }
+};
+
+/// Writes `history` to `path`, overwriting.
+CodecStatus SaveHistory(const History& history, const std::string& path);
+
+/// Reads a history written by SaveHistory. Validates structure (counts,
+/// op tags) and reports the first malformed line.
+CodecStatus LoadHistory(const std::string& path, History* out);
+
+}  // namespace chronos::hist
+
+#endif  // CHRONOS_HIST_CODEC_H_

@@ -1,0 +1,19 @@
+#include "online/metrics.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+namespace chronos::online {
+
+size_t ReadRssBytes() {
+  FILE* f = fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  long total = 0, resident = 0;
+  int n = fscanf(f, "%ld %ld", &total, &resident);
+  fclose(f);
+  if (n != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  return static_cast<size_t>(resident) * static_cast<size_t>(page);
+}
+
+}  // namespace chronos::online

@@ -1,0 +1,48 @@
+// Throughput and memory meters for the online experiments (Figs. 12, 15,
+// 16, 23).
+#ifndef CHRONOS_ONLINE_METRICS_H_
+#define CHRONOS_ONLINE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chronos::online {
+
+/// Buckets event counts into fixed windows, yielding a throughput series
+/// ("TPS over time" curves). Single-threaded.
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(uint64_t window_ms = 1000)
+      : window_ms_(window_ms) {}
+
+  /// Records `n` events at time `t_ms`.
+  void Record(uint64_t t_ms, uint64_t n = 1) {
+    size_t bucket = static_cast<size_t>(t_ms / window_ms_);
+    if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+    counts_[bucket] += n;
+  }
+
+  /// Per-window event counts (index i covers [i*window, (i+1)*window)).
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  uint64_t window_ms() const { return window_ms_; }
+
+  /// Events per second in window i.
+  double Tps(size_t i) const {
+    if (i >= counts_.size()) return 0;
+    return static_cast<double>(counts_[i]) * 1000.0 /
+           static_cast<double>(window_ms_);
+  }
+
+ private:
+  uint64_t window_ms_;
+  std::vector<uint64_t> counts_;
+};
+
+/// Resident-set size of this process in bytes (Linux /proc/self/statm);
+/// 0 when unavailable.
+size_t ReadRssBytes();
+
+}  // namespace chronos::online
+
+#endif  // CHRONOS_ONLINE_METRICS_H_

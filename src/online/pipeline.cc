@@ -1,0 +1,65 @@
+#include "online/pipeline.h"
+
+#include <chrono>
+
+namespace chronos::online {
+
+RunResult RunMaxRate(Aion* checker,
+                     const std::vector<hist::CollectedTxn>& stream,
+                     const GcPolicy& gc, uint64_t sample_every) {
+  RunResult result;
+  ThroughputMeter meter(1000);
+  auto start = std::chrono::steady_clock::now();
+  auto wall_ms = [&] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+
+  uint64_t done = 0;
+  for (const hist::CollectedTxn& ct : stream) {
+    checker->OnTransaction(ct.txn, ct.deliver_at_ms);
+    ++done;
+    meter.Record(wall_ms());
+
+    // GC is clamped to the safe watermark inside Aion: transactions whose
+    // EXT timeout has not expired are never evicted, so collection only
+    // reclaims finalized state (paper: asynchrony may prevent recycling).
+    // Attempts are rate-limited: a hard cap retries constantly (the
+    // paper's thrashing full-gc mode), a threshold policy checks more
+    // lazily.
+    if (gc.mode != GcPolicy::Mode::kNone) {
+      uint64_t gc_check_every =
+          gc.mode == GcPolicy::Mode::kHardCap ? 64 : 1024;
+      if (done % gc_check_every == 0 &&
+          checker->GetFootprint().live_txns >= gc.max_live) {
+        checker->GcToLiveTarget(gc.target_live);
+      }
+    }
+
+    if (done % sample_every == 0) {
+      result.samples.push_back({static_cast<double>(wall_ms()) / 1000.0, done,
+                                ReadRssBytes(),
+                                checker->GetFootprint().live_txns});
+    }
+  }
+  checker->Finish();
+
+  result.txns = done;
+  result.wall_seconds = static_cast<double>(wall_ms()) / 1000.0;
+  for (size_t i = 0; i < meter.counts().size(); ++i) {
+    result.tps_per_window.push_back(meter.Tps(i));
+  }
+  return result;
+}
+
+void RunVirtualTime(Aion* checker,
+                    const std::vector<hist::CollectedTxn>& stream) {
+  for (const hist::CollectedTxn& ct : stream) {
+    checker->OnTransaction(ct.txn, ct.deliver_at_ms);
+  }
+  checker->Finish();
+}
+
+}  // namespace chronos::online

@@ -1,0 +1,73 @@
+// Drivers that feed collected transaction streams into AION under the
+// paper's three GC strategies (Fig. 12: no-gc / checking-gc / full-gc)
+// and sample throughput and memory as they go.
+#ifndef CHRONOS_ONLINE_PIPELINE_H_
+#define CHRONOS_ONLINE_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aion.h"
+#include "hist/collector.h"
+#include "online/metrics.h"
+
+namespace chronos::online {
+
+/// The paper's GC strategies for online checking (Sec. VI-B).
+struct GcPolicy {
+  enum class Mode {
+    kNone,       ///< never collect: memory grows with the stream
+    kThreshold,  ///< collect down to `target_live` when `max_live` reached
+    kHardCap,    ///< collect every time the hard cap is hit (paper's
+                 ///< "maximum transaction limit" / full-gc mode)
+  };
+  Mode mode = Mode::kNone;
+  size_t max_live = 100000;
+  size_t target_live = 50000;
+
+  static GcPolicy None() { return {}; }
+  static GcPolicy Threshold(size_t max_live, size_t target_live) {
+    return {Mode::kThreshold, max_live, target_live};
+  }
+  static GcPolicy HardCap(size_t cap) {
+    return {Mode::kHardCap, cap, cap > 1 ? cap - cap / 16 : cap};
+  }
+};
+
+/// One sample of the run's progress.
+struct RunSample {
+  double wall_seconds = 0;
+  uint64_t txns_done = 0;
+  size_t rss_bytes = 0;
+  size_t live_txns = 0;
+};
+
+/// Result of driving a stream through a checker at maximum rate.
+struct RunResult {
+  double wall_seconds = 0;
+  uint64_t txns = 0;
+  std::vector<RunSample> samples;        ///< taken every `sample_every` txns
+  std::vector<double> tps_per_window;    ///< throughput series (1 s windows)
+
+  double AvgTps() const {
+    return wall_seconds > 0 ? static_cast<double>(txns) / wall_seconds : 0;
+  }
+};
+
+/// Feeds the stream into `checker` as fast as it will go (the paper's
+/// throughput-limit methodology: pre-collected logs arriving faster than
+/// the checker can process). Virtual delivery timestamps drive the EXT
+/// timeout clock; wall time drives the TPS series.
+RunResult RunMaxRate(Aion* checker,
+                     const std::vector<hist::CollectedTxn>& stream,
+                     const GcPolicy& gc, uint64_t sample_every = 10000);
+
+/// Feeds the stream honoring virtual delivery times (for flip-flop
+/// studies, Figs. 13/14): each transaction is delivered at its scheduled
+/// virtual millisecond and timeouts fire in virtual time.
+void RunVirtualTime(Aion* checker,
+                    const std::vector<hist::CollectedTxn>& stream);
+
+}  // namespace chronos::online
+
+#endif  // CHRONOS_ONLINE_PIPELINE_H_

@@ -1,0 +1,261 @@
+#include "workload/apps.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "workload/keyspace.h"
+
+namespace chronos::workload {
+namespace {
+
+// Table ids for composite keys.
+enum Table : uint64_t {
+  kTweet = 1,        // (user, seq) -> content id
+  kLastPost = 2,     // (user) -> seq
+  kFollow = 3,       // (follower, followee) -> 0/1
+  kUser = 10,        // (uid) -> profile version
+  kItem = 11,        // (iid) -> listing version
+  kBid = 12,         // (iid, seq) -> amount
+  kItemTop = 13,     // (iid) -> current top bid
+  kComment = 14,     // (uid, seq) -> comment id
+  kWarehouse = 20,   // (w) -> ytd
+  kDistrict = 21,    // (w, d) -> ytd
+  kDistrictOid = 22, // (w, d) -> next order id
+  kCustomer = 23,    // (w, d*1000+c) -> balance
+  kStock = 24,       // (w, i) -> quantity
+  kOrderLine = 25,   // (w*100+d, oid*16+line) -> item
+};
+
+std::atomic<Value> g_app_value{1000000};
+
+Value NextValue() {
+  return g_app_value.fetch_add(1, std::memory_order_relaxed);
+}
+
+using TxnBody = std::function<void(db::Database*, db::Database::Txn*)>;
+
+// Executes `total` transactions in interleaved batches: one open
+// transaction per session, bodies executed while all are open, commits in
+// a shuffled order. This produces genuinely overlapping start..commit
+// spans (so NOCONFLICT and AION's re-check paths are exercised); aborted
+// transactions are retried sequentially with the same body.
+void RunInterleavedBatches(db::Database* db, uint32_t sessions, uint64_t total,
+                           std::mt19937_64* rng,
+                           const std::function<TxnBody()>& make_body) {
+  uint64_t done = 0;
+  while (done < total) {
+    uint32_t batch = static_cast<uint32_t>(
+        std::min<uint64_t>(sessions, total - done));
+    std::vector<TxnBody> bodies;
+    bodies.reserve(batch);
+    for (uint32_t i = 0; i < batch; ++i) bodies.push_back(make_body());
+
+    std::vector<std::unique_ptr<db::Database::Txn>> open;
+    open.reserve(batch);
+    for (uint32_t i = 0; i < batch; ++i) open.push_back(db->Begin(i));
+    for (uint32_t i = 0; i < batch; ++i) bodies[i](db, open[i].get());
+
+    std::vector<uint32_t> order(batch);
+    for (uint32_t i = 0; i < batch; ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), *rng);
+
+    for (uint32_t i : order) {
+      if (db->Commit(std::move(open[i])) ==
+          db::Database::CommitResult::kCommitted) {
+        ++done;
+        continue;
+      }
+      // Retry sequentially until it commits (fresh snapshot each time).
+      for (int attempt = 0; attempt < 256; ++attempt) {
+        auto txn = db->Begin(i);
+        bodies[i](db, txn.get());
+        if (db->Commit(std::move(txn)) ==
+            db::Database::CommitResult::kCommitted) {
+          ++done;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunTwitterWorkload(db::Database* db, const TwitterParams& p) {
+  std::mt19937_64 rng(p.seed);
+  std::uniform_int_distribution<uint32_t> pick_user(0, p.users - 1);
+  std::uniform_real_distribution<double> coin(0, 1);
+  std::vector<uint64_t> post_seq(p.users, 0);
+
+  auto make_body = [&]() -> TxnBody {
+    double action = coin(rng);
+    if (action < p.post_ratio) {
+      uint32_t u = pick_user(rng);
+      uint64_t seq = post_seq[u]++;
+      Value content = NextValue();
+      return [u, seq, content](db::Database* d, db::Database::Txn* t) {
+        d->Write(t, ComposeKey(kTweet, u, seq), content);
+        d->Write(t, ComposeKey(kLastPost, u), static_cast<Value>(seq + 1));
+      };
+    }
+    if (action < p.post_ratio + p.follow_ratio) {
+      uint32_t u = pick_user(rng), v = pick_user(rng);
+      Value flag = coin(rng) < 0.8 ? 1 : 0;
+      return [u, v, flag](db::Database* d, db::Database::Txn* t) {
+        d->Write(t, ComposeKey(kFollow, u, v), flag);
+      };
+    }
+    uint32_t v1 = pick_user(rng), v2 = pick_user(rng), v3 = pick_user(rng);
+    return [v1, v2, v3](db::Database* d, db::Database::Txn* t) {
+      for (uint32_t v : {v1, v2, v3}) {
+        Value last = d->Read(t, ComposeKey(kLastPost, v));
+        if (last > 0) {
+          d->Read(t, ComposeKey(kTweet, v, static_cast<uint64_t>(last - 1)));
+        }
+      }
+    };
+  };
+
+  RunInterleavedBatches(db, p.sessions, p.txns, &rng, make_body);
+}
+
+History GenerateTwitterHistory(const TwitterParams& params,
+                               const db::DbConfig& config) {
+  db::Database db(config);
+  RunTwitterWorkload(&db, params);
+  return db.ExportHistory();
+}
+
+void RunRubisWorkload(db::Database* db, const RubisParams& p) {
+  std::mt19937_64 rng(p.seed);
+  std::uniform_int_distribution<uint32_t> pick_user(0, p.users - 1);
+  std::uniform_int_distribution<uint32_t> pick_item(0, p.items - 1);
+  std::uniform_real_distribution<double> coin(0, 1);
+  uint64_t bid_seq = 0, comment_seq = 0;
+
+  auto make_body = [&]() -> TxnBody {
+    double action = coin(rng);
+    if (action < 0.05) {  // register account
+      uint32_t u = pick_user(rng);
+      Value v = NextValue();
+      return [u, v](db::Database* d, db::Database::Txn* t) {
+        d->Write(t, ComposeKey(kUser, u), v);
+      };
+    }
+    if (action < 0.15) {  // list an item
+      uint32_t i = pick_item(rng);
+      Value v = NextValue();
+      return [i, v](db::Database* d, db::Database::Txn* t) {
+        d->Write(t, ComposeKey(kItem, i), v);
+      };
+    }
+    if (action < 0.40) {  // place a bid
+      uint32_t i = pick_item(rng);
+      uint64_t seq = bid_seq++;
+      Value amount = NextValue(), top = NextValue();
+      return [i, seq, amount, top](db::Database* d, db::Database::Txn* t) {
+        d->Read(t, ComposeKey(kItem, i));
+        d->Read(t, ComposeKey(kItemTop, i));
+        d->Write(t, ComposeKey(kBid, i, seq), amount);
+        d->Write(t, ComposeKey(kItemTop, i), top);
+      };
+    }
+    if (action < 0.90) {  // view an item
+      uint32_t i = pick_item(rng);
+      return [i](db::Database* d, db::Database::Txn* t) {
+        d->Read(t, ComposeKey(kItem, i));
+        d->Read(t, ComposeKey(kItemTop, i));
+      };
+    }
+    uint32_t u = pick_user(rng);  // leave a comment
+    uint64_t seq = comment_seq++;
+    Value v = NextValue();
+    return [u, seq, v](db::Database* d, db::Database::Txn* t) {
+      d->Read(t, ComposeKey(kUser, u));
+      d->Write(t, ComposeKey(kComment, u, seq), v);
+    };
+  };
+
+  RunInterleavedBatches(db, p.sessions, p.txns, &rng, make_body);
+}
+
+History GenerateRubisHistory(const RubisParams& params,
+                             const db::DbConfig& config) {
+  db::Database db(config);
+  RunRubisWorkload(&db, params);
+  return db.ExportHistory();
+}
+
+void RunTpccWorkload(db::Database* db, const TpccParams& p) {
+  std::mt19937_64 rng(p.seed);
+  std::uniform_int_distribution<uint32_t> pick_wh(0, p.warehouses - 1);
+  std::uniform_int_distribution<uint32_t> pick_d(0, p.districts_per_wh - 1);
+  std::uniform_int_distribution<uint32_t> pick_c(0,
+                                                 p.customers_per_district - 1);
+  std::uniform_int_distribution<uint32_t> pick_i(0, p.items - 1);
+  std::uniform_real_distribution<double> coin(0, 1);
+  std::vector<uint64_t> next_oid(p.warehouses * p.districts_per_wh, 1);
+
+  auto make_body = [&]() -> TxnBody {
+    double action = coin(rng);
+    uint32_t w = pick_wh(rng), d = pick_d(rng);
+    if (action < 0.45) {  // new-order
+      uint64_t oid = next_oid[w * p.districts_per_wh + d]++;
+      uint32_t lines = 5 + static_cast<uint32_t>(rng() % 6);
+      std::vector<uint32_t> items;
+      items.reserve(lines);
+      for (uint32_t l = 0; l < lines; ++l) items.push_back(pick_i(rng));
+      std::vector<Value> stock_vals;
+      stock_vals.reserve(lines);
+      for (uint32_t l = 0; l < lines; ++l) stock_vals.push_back(NextValue());
+      return [w, d, oid, items, stock_vals](db::Database* db2,
+                                            db::Database::Txn* t) {
+        db2->Read(t, ComposeKey(kWarehouse, w));
+        db2->Read(t, ComposeKey(kDistrictOid, w, d));
+        db2->Write(t, ComposeKey(kDistrictOid, w, d),
+                   static_cast<Value>(oid));
+        for (uint32_t l = 0; l < items.size(); ++l) {
+          db2->Read(t, ComposeKey(kStock, w, items[l]));
+          db2->Write(t, ComposeKey(kStock, w, items[l]), stock_vals[l]);
+          db2->Write(t, ComposeKey(kOrderLine, w * 100 + d, oid * 16 + l),
+                     static_cast<Value>(items[l]));
+        }
+      };
+    }
+    if (action < 0.88) {  // payment
+      uint32_t c = pick_c(rng);
+      Value v1 = NextValue(), v2 = NextValue(), v3 = NextValue();
+      return [w, d, c, v1, v2, v3](db::Database* db2, db::Database::Txn* t) {
+        db2->Read(t, ComposeKey(kWarehouse, w));
+        db2->Write(t, ComposeKey(kWarehouse, w), v1);
+        db2->Read(t, ComposeKey(kDistrict, w, d));
+        db2->Write(t, ComposeKey(kDistrict, w, d), v2);
+        db2->Read(t, ComposeKey(kCustomer, w, d * 1000 + c));
+        db2->Write(t, ComposeKey(kCustomer, w, d * 1000 + c), v3);
+      };
+    }
+    uint32_t c = pick_c(rng);  // order-status (read only)
+    uint64_t oid = next_oid[w * p.districts_per_wh + d];
+    return [w, d, c, oid](db::Database* db2, db::Database::Txn* t) {
+      db2->Read(t, ComposeKey(kCustomer, w, d * 1000 + c));
+      for (uint32_t l = 0; l < 3; ++l) {
+        db2->Read(t, ComposeKey(kOrderLine, w * 100 + d,
+                                (oid > 0 ? oid - 1 : 0) * 16 + l));
+      }
+    };
+  };
+
+  RunInterleavedBatches(db, p.sessions, p.txns, &rng, make_body);
+}
+
+History GenerateTpccHistory(const TpccParams& params,
+                            const db::DbConfig& config) {
+  db::Database db(config);
+  RunTpccWorkload(&db, params);
+  return db.ExportHistory();
+}
+
+}  // namespace chronos::workload

@@ -1,0 +1,67 @@
+// Application workloads of the paper's evaluation: Twitter (a simple
+// Twitter clone, Sec. V-A1), RUBiS (an eBay-like auction site), and a
+// TPC-C-flavoured workload (appendix Fig. 24) whose composite primary
+// keys produce a very large key domain.
+#ifndef CHRONOS_WORKLOAD_APPS_H_
+#define CHRONOS_WORKLOAD_APPS_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "db/database.h"
+
+namespace chronos::workload {
+
+/// Twitter clone: users create tweets, follow/unfollow accounts, and view
+/// timelines of recent tweets (paper: 500 users). The key space grows
+/// with the number of posted tweets, which is what stresses AION's
+/// per-key frontier structures (Sec. VI-B).
+struct TwitterParams {
+  uint32_t users = 500;
+  uint32_t sessions = 24;
+  uint64_t txns = 10000;
+  uint64_t seed = 7;
+  double post_ratio = 0.3;
+  double follow_ratio = 0.1;  // remainder: timeline reads
+};
+
+void RunTwitterWorkload(db::Database* db, const TwitterParams& params);
+History GenerateTwitterHistory(const TwitterParams& params,
+                               const db::DbConfig& config = {});
+
+/// RUBiS auction site: register users, list items, place bids, view
+/// items, leave comments (paper: 200 users, 800 items).
+struct RubisParams {
+  uint32_t users = 200;
+  uint32_t items = 800;
+  uint32_t sessions = 24;
+  uint64_t txns = 10000;
+  uint64_t seed = 11;
+};
+
+void RunRubisWorkload(db::Database* db, const RubisParams& params);
+History GenerateRubisHistory(const RubisParams& params,
+                             const db::DbConfig& config = {});
+
+/// TPC-C-flavoured workload: new-order / payment / order-status over
+/// warehouses, districts, customers and stock with composite primary
+/// keys. Offline checking only in the paper (appendix: maintaining
+/// per-timestamp frontiers for its huge key range is what makes online
+/// checking expensive).
+struct TpccParams {
+  uint32_t warehouses = 2;
+  uint32_t districts_per_wh = 10;
+  uint32_t customers_per_district = 100;
+  uint32_t items = 1000;
+  uint32_t sessions = 24;
+  uint64_t txns = 10000;
+  uint64_t seed = 13;
+};
+
+void RunTpccWorkload(db::Database* db, const TpccParams& params);
+History GenerateTpccHistory(const TpccParams& params,
+                            const db::DbConfig& config = {});
+
+}  // namespace chronos::workload
+
+#endif  // CHRONOS_WORKLOAD_APPS_H_

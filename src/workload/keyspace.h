@@ -1,0 +1,29 @@
+// Composite-key interning for the application workloads (Twitter, RUBiS,
+// TPC-C): logical keys like (table, pk1, pk2) are mixed into the 64-bit
+// key space the checkers operate on. TiDB/YugabyteDB do the analogous
+// SQL-row -> KV-key translation in their storage layers (paper Sec. IV-B).
+#ifndef CHRONOS_WORKLOAD_KEYSPACE_H_
+#define CHRONOS_WORKLOAD_KEYSPACE_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace chronos::workload {
+
+/// splitmix64 finalizer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Interns a composite key (table, a, b) into the flat key space.
+inline Key ComposeKey(uint64_t table, uint64_t a, uint64_t b = 0) {
+  return Mix64(Mix64(table * 0x100000001B3ULL ^ a) ^ (b + 0x1234567));
+}
+
+}  // namespace chronos::workload
+
+#endif  // CHRONOS_WORKLOAD_KEYSPACE_H_

@@ -1,0 +1,75 @@
+// Key-access distributions of the default workload (paper Table I:
+// uniform, zipfian, hotspot where 80% of operations target 20% of keys).
+#ifndef CHRONOS_WORKLOAD_ZIPF_H_
+#define CHRONOS_WORKLOAD_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace chronos::workload {
+
+/// YCSB-style Zipfian generator over [0, n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta = 0.99) : n_(n), theta_(theta) {
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  template <typename Rng>
+  uint64_t Next(Rng& rng) {
+    double u = std::uniform_real_distribution<double>(0, 1)(rng);
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_, zetan_, zeta2_, alpha_, eta_;
+};
+
+/// Hotspot: with probability `hot_op_fraction` pick uniformly from the
+/// first `hot_key_fraction` of the key space, else from the rest.
+class HotspotGenerator {
+ public:
+  HotspotGenerator(uint64_t n, double hot_key_fraction = 0.2,
+                   double hot_op_fraction = 0.8)
+      : n_(n),
+        hot_keys_(std::max<uint64_t>(1, static_cast<uint64_t>(
+                                            n * hot_key_fraction))),
+        hot_op_fraction_(hot_op_fraction) {}
+
+  template <typename Rng>
+  uint64_t Next(Rng& rng) {
+    std::uniform_real_distribution<double> coin(0, 1);
+    if (coin(rng) < hot_op_fraction_) {
+      return std::uniform_int_distribution<uint64_t>(0, hot_keys_ - 1)(rng);
+    }
+    if (hot_keys_ >= n_) return n_ - 1;
+    return std::uniform_int_distribution<uint64_t>(hot_keys_, n_ - 1)(rng);
+  }
+
+ private:
+  uint64_t n_, hot_keys_;
+  double hot_op_fraction_;
+};
+
+}  // namespace chronos::workload
+
+#endif  // CHRONOS_WORKLOAD_ZIPF_H_

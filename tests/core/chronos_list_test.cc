@@ -1,0 +1,94 @@
+// CHRONOS on list histories: append/read-list semantics, INT/EXT
+// classification for lists, NOCONFLICT on concurrent appends.
+#include "core/chronos_list.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace chronos {
+namespace {
+
+using testing::HistoryBuilder;
+
+TEST(ChronosListTest, AcceptsSimpleAppendChain) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).A(1, 100)
+                  .Txn(2, 1, 0, 3, 4).A(1, 101)
+                  .Txn(3, 2, 0, 5, 6).L(1, {100, 101})
+                  .Build();
+  CountingSink sink;
+  EXPECT_EQ(ChronosList::CheckHistory(h, &sink).violations, 0u);
+}
+
+TEST(ChronosListTest, EmptyListReadBeforeAnyAppend) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 1).L(1, {})
+                  .Txn(2, 1, 0, 2, 3).A(1, 100)
+                  .Build();
+  CountingSink sink;
+  EXPECT_EQ(ChronosList::CheckHistory(h, &sink).violations, 0u);
+}
+
+TEST(ChronosListTest, SnapshotExcludesConcurrentAppend) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).A(1, 100)
+                  .Txn(2, 1, 0, 3, 6).A(1, 101)
+                  .Txn(3, 2, 0, 4, 5).L(1, {100})  // T2 not yet committed
+                  .Build();
+  CountingSink sink;
+  EXPECT_EQ(ChronosList::CheckHistory(h, &sink).violations, 0u);
+}
+
+TEST(ChronosListTest, ObservingUncommittedAppendIsExt) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).A(1, 100)
+                  .Txn(2, 1, 0, 3, 6).A(1, 101)
+                  .Txn(3, 2, 0, 4, 5).L(1, {100, 101})  // sees future append
+                  .Build();
+  CountingSink sink;
+  ChronosList::CheckHistory(h, &sink);
+  EXPECT_EQ(sink.count(ViolationType::kExt), 1u);
+}
+
+TEST(ChronosListTest, ReadsOwnAppendsAfterSnapshot) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).A(1, 100)
+                  .Txn(2, 1, 0, 3, 4).A(1, 101).L(1, {100, 101})
+                  .Build();
+  CountingSink sink;
+  EXPECT_EQ(ChronosList::CheckHistory(h, &sink).violations, 0u);
+}
+
+TEST(ChronosListTest, MissingOwnAppendIsInt) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).A(1, 100).L(1, {})  // lost own append
+                  .Build();
+  CountingSink sink;
+  ChronosList::CheckHistory(h, &sink);
+  EXPECT_EQ(sink.count(ViolationType::kInt), 1u);
+}
+
+TEST(ChronosListTest, ConcurrentAppendersConflict) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 3).A(1, 100)
+                  .Txn(2, 1, 0, 2, 4).A(1, 101)
+                  .Build();
+  CountingSink sink;
+  ChronosList::CheckHistory(h, &sink);
+  EXPECT_EQ(sink.count(ViolationType::kNoConflict), 1u);
+}
+
+TEST(ChronosListTest, WrongPrefixOrderIsExt) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).A(1, 100)
+                  .Txn(2, 1, 0, 3, 4).A(1, 101)
+                  .Txn(3, 2, 0, 5, 6).L(1, {101, 100})
+                  .Build();
+  CountingSink sink;
+  ChronosList::CheckHistory(h, &sink);
+  EXPECT_EQ(sink.count(ViolationType::kExt), 1u);
+}
+
+}  // namespace
+}  // namespace chronos

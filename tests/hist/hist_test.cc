@@ -1,0 +1,158 @@
+// History codec round-trips and failure handling; collector delivery
+// schedules (batching, delays, session-order preservation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
+
+#include "hist/codec.h"
+#include "hist/collector.h"
+#include "workload/generator.h"
+
+namespace chronos::hist {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CodecTest, RoundTripsRegisterHistory) {
+  workload::WorkloadParams p;
+  p.sessions = 4;
+  p.txns = 200;
+  p.ops_per_txn = 6;
+  History h = workload::GenerateDefaultHistory(p);
+  std::string path = TempPath("rt.hist");
+  ASSERT_TRUE(SaveHistory(h, path).ok);
+  History loaded;
+  CodecStatus st = LoadHistory(path, &loaded);
+  ASSERT_TRUE(st.ok) << st.message;
+  ASSERT_EQ(loaded.txns.size(), h.txns.size());
+  EXPECT_EQ(loaded.num_sessions, h.num_sessions);
+  for (size_t i = 0; i < h.txns.size(); ++i) {
+    EXPECT_EQ(loaded.txns[i].tid, h.txns[i].tid);
+    EXPECT_EQ(loaded.txns[i].start_ts, h.txns[i].start_ts);
+    EXPECT_EQ(loaded.txns[i].commit_ts, h.txns[i].commit_ts);
+    ASSERT_EQ(loaded.txns[i].ops.size(), h.txns[i].ops.size());
+    for (size_t j = 0; j < h.txns[i].ops.size(); ++j) {
+      EXPECT_EQ(loaded.txns[i].ops[j].type, h.txns[i].ops[j].type);
+      EXPECT_EQ(loaded.txns[i].ops[j].key, h.txns[i].ops[j].key);
+      EXPECT_EQ(loaded.txns[i].ops[j].value, h.txns[i].ops[j].value);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CodecTest, RoundTripsListHistory) {
+  workload::WorkloadParams p;
+  p.sessions = 4;
+  p.txns = 100;
+  p.ops_per_txn = 5;
+  p.list_mode = true;
+  History h = workload::GenerateDefaultHistory(p);
+  std::string path = TempPath("rt_list.hist");
+  ASSERT_TRUE(SaveHistory(h, path).ok);
+  History loaded;
+  ASSERT_TRUE(LoadHistory(path, &loaded).ok);
+  ASSERT_EQ(loaded.txns.size(), h.txns.size());
+  for (size_t i = 0; i < h.txns.size(); ++i) {
+    ASSERT_EQ(loaded.txns[i].list_args.size(), h.txns[i].list_args.size());
+    for (size_t j = 0; j < h.txns[i].list_args.size(); ++j) {
+      EXPECT_EQ(loaded.txns[i].list_args[j], h.txns[i].list_args[j]);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CodecTest, MissingFileFails) {
+  History h;
+  EXPECT_FALSE(LoadHistory("/nonexistent/nowhere.hist", &h).ok);
+}
+
+TEST(CodecTest, TruncatedFileFails) {
+  std::string path = TempPath("trunc.hist");
+  FILE* f = fopen(path.c_str(), "w");
+  fprintf(f, "chronos-history v1 sessions=2 txns=5\nT 1 0 0 1 2 3\nR 1 0\n");
+  fclose(f);
+  History h;
+  CodecStatus st = LoadHistory(path, &h);
+  EXPECT_FALSE(st.ok);
+  std::filesystem::remove(path);
+}
+
+TEST(CodecTest, BadHeaderFails) {
+  std::string path = TempPath("badhdr.hist");
+  FILE* f = fopen(path.c_str(), "w");
+  fprintf(f, "not-a-history\n");
+  fclose(f);
+  History h;
+  EXPECT_FALSE(LoadHistory(path, &h).ok);
+  std::filesystem::remove(path);
+}
+
+TEST(CollectorTest, PreservesSessionOrder) {
+  workload::WorkloadParams p;
+  p.sessions = 8;
+  p.txns = 2000;
+  p.ops_per_txn = 4;
+  History h = workload::GenerateDefaultHistory(p);
+  CollectorParams cp;
+  cp.delay_mean_ms = 100;
+  cp.delay_stddev_ms = 40;
+  auto stream = ScheduleDelivery(h, cp);
+  ASSERT_EQ(stream.size(), h.txns.size());
+  std::unordered_map<SessionId, uint64_t> last_sno;
+  for (const auto& ct : stream) {
+    auto it = last_sno.find(ct.txn.sid);
+    if (it != last_sno.end()) {
+      EXPECT_GT(ct.txn.sno, it->second)
+          << "session order broken at sid=" << ct.txn.sid;
+    }
+    last_sno[ct.txn.sid] = ct.txn.sno;
+  }
+}
+
+TEST(CollectorTest, DeliveryTimesAreSorted) {
+  workload::WorkloadParams p;
+  p.sessions = 4;
+  p.txns = 600;
+  History h = workload::GenerateDefaultHistory(p);
+  CollectorParams cp;
+  cp.delay_mean_ms = 50;
+  cp.delay_stddev_ms = 20;
+  auto stream = ScheduleDelivery(h, cp);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LE(stream[i - 1].deliver_at_ms, stream[i].deliver_at_ms);
+  }
+}
+
+TEST(CollectorTest, DelaysReorderCommitOrder) {
+  workload::WorkloadParams p;
+  p.sessions = 16;
+  p.txns = 2000;
+  History h = workload::GenerateDefaultHistory(p);
+  CollectorParams cp;
+  cp.delay_mean_ms = 100;
+  cp.delay_stddev_ms = 30;
+  auto stream = ScheduleDelivery(h, cp);
+  size_t inversions = 0;
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].txn.commit_ts < stream[i - 1].txn.commit_ts) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u) << "asynchrony must reorder arrivals";
+}
+
+TEST(CollectorTest, ZeroDelayKeepsCommitOrder) {
+  workload::WorkloadParams p;
+  p.sessions = 4;
+  p.txns = 300;
+  History h = workload::GenerateDefaultHistory(p);
+  auto stream = ScheduleDelivery(h, CollectorParams{});
+  for (size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LE(stream[i - 1].txn.commit_ts, stream[i].txn.commit_ts);
+  }
+}
+
+}  // namespace
+}  // namespace chronos::hist

@@ -1,0 +1,127 @@
+// chronos_gen: generate a transaction history file from the bundled
+// workloads and database, optionally with injected faults.
+//
+//   chronos_gen --out=h.hist --workload=default --txns=100000
+//               [--sessions=50] [--ops=15] [--keys=1000] [--reads=0.5]
+//               [--dist=zipf|uniform|hotspot] [--list] [--ser]
+//               [--seed=1] [--fault=lost_update|stale_read|value|
+//                           ts_swap|early_commit|session_reorder]
+//               [--fault-prob=0.05]
+//   chronos_gen --out=h.hist --workload=twitter|rubis|tpcc --txns=20000
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "hist/codec.h"
+#include "workload/apps.h"
+#include "workload/generator.h"
+
+using namespace chronos;
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  size_t len = strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+uint64_t U64Flag(int argc, char** argv, const char* name, uint64_t def) {
+  const char* v = FlagValue(argc, argv, name);
+  return v ? strtoull(v, nullptr, 10) : def;
+}
+
+double DoubleFlag(int argc, char** argv, const char* name, double def) {
+  const char* v = FlagValue(argc, argv, name);
+  return v ? atof(v) : def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = FlagValue(argc, argv, "--out");
+  if (!out) {
+    std::fprintf(stderr, "usage: chronos_gen --out=FILE [options]\n");
+    return 2;
+  }
+  std::string workload = FlagValue(argc, argv, "--workload")
+                             ? FlagValue(argc, argv, "--workload")
+                             : "default";
+  uint64_t txns = U64Flag(argc, argv, "--txns", 10000);
+
+  db::DbConfig cfg;
+  if (HasFlag(argc, argv, "--ser")) {
+    cfg.isolation = db::DbConfig::Isolation::kSer;
+  }
+  if (const char* fault = FlagValue(argc, argv, "--fault")) {
+    double p = DoubleFlag(argc, argv, "--fault-prob", 0.05);
+    if (!strcmp(fault, "lost_update")) cfg.faults.lost_update_prob = p;
+    else if (!strcmp(fault, "stale_read")) cfg.faults.stale_read_prob = p;
+    else if (!strcmp(fault, "value")) cfg.faults.value_corruption_prob = p;
+    else if (!strcmp(fault, "ts_swap")) cfg.faults.ts_swap_prob = p;
+    else if (!strcmp(fault, "early_commit")) cfg.faults.early_commit_prob = p;
+    else if (!strcmp(fault, "session_reorder")) {
+      cfg.faults.session_reorder_prob = p;
+    } else {
+      std::fprintf(stderr, "unknown --fault=%s\n", fault);
+      return 2;
+    }
+  }
+
+  History h;
+  if (workload == "default") {
+    workload::WorkloadParams p;
+    p.txns = txns;
+    p.sessions = static_cast<uint32_t>(U64Flag(argc, argv, "--sessions", 50));
+    p.ops_per_txn = static_cast<uint32_t>(U64Flag(argc, argv, "--ops", 15));
+    p.keys = U64Flag(argc, argv, "--keys", 1000);
+    p.read_ratio = DoubleFlag(argc, argv, "--reads", 0.5);
+    p.seed = U64Flag(argc, argv, "--seed", 1);
+    p.list_mode = HasFlag(argc, argv, "--list");
+    if (const char* d = FlagValue(argc, argv, "--dist")) {
+      if (!strcmp(d, "uniform")) {
+        p.dist = workload::WorkloadParams::KeyDist::kUniform;
+      } else if (!strcmp(d, "hotspot")) {
+        p.dist = workload::WorkloadParams::KeyDist::kHotspot;
+      } else {
+        p.dist = workload::WorkloadParams::KeyDist::kZipf;
+      }
+    }
+    h = workload::GenerateDefaultHistory(p, cfg);
+  } else if (workload == "twitter") {
+    workload::TwitterParams p;
+    p.txns = txns;
+    h = workload::GenerateTwitterHistory(p, cfg);
+  } else if (workload == "rubis") {
+    workload::RubisParams p;
+    p.txns = txns;
+    h = workload::GenerateRubisHistory(p, cfg);
+  } else if (workload == "tpcc") {
+    workload::TpccParams p;
+    p.txns = txns;
+    h = workload::GenerateTpccHistory(p, cfg);
+  } else {
+    std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());
+    return 2;
+  }
+
+  hist::CodecStatus st = hist::SaveHistory(h, out);
+  if (!st.ok) {
+    std::fprintf(stderr, "save failed: %s\n", st.message.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu txns (%zu ops) to %s\n", h.txns.size(), h.NumOps(),
+              out);
+  return 0;
+}
