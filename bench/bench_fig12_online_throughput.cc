@@ -22,13 +22,15 @@ std::vector<hist::CollectedTxn> Stream(const History& h) {
 
 void RunAionRow(const char* label, Aion::Mode mode,
                 const std::vector<hist::CollectedTxn>& stream,
-                online::GcPolicy gc) {
+                online::GcPolicy gc, bool threaded = false) {
   CountingSink sink;
   Aion::Options opt;
   opt.mode = mode;
   opt.ext_timeout_ms = 50;
   Aion checker(opt, &sink);
-  online::RunResult r = online::RunMaxRate(&checker, stream, gc);
+  online::RunResult r = threaded
+                            ? online::RunThreaded(&checker, stream, gc)
+                            : online::RunMaxRate(&checker, stream, gc);
   std::printf("%24s  avg=%8.0f TPS  violations=%-6zu windows:", label,
               r.AvgTps(), static_cast<size_t>(sink.total()));
   for (size_t i = 0; i < r.tps_per_window.size() && i < 8; ++i) {
@@ -112,6 +114,8 @@ int main() {
                online::GcPolicy::Threshold(20000, 10000));
     RunAionRow("Aion-full-gc", Aion::Mode::kSi, stream,
                online::GcPolicy::HardCap(5000));
+    RunAionRow("Aion-threaded-no-gc", Aion::Mode::kSi, stream,
+               online::GcPolicy::None(), /*threaded=*/true);
   }
 
   uint64_t app_txns = 20000 * scale;

@@ -11,6 +11,7 @@
 #include "core/event_timeline.h"
 #include "core/interval_tree.h"
 #include "core/versioned_kv.h"
+#include "ref_map_kv.h"
 #include "workload/generator.h"
 
 namespace chronos {
@@ -102,6 +103,97 @@ void BM_VersionedKvLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VersionedKvLookup)->Arg(10000)->Arg(1000000);
+
+// Old-vs-new: the seed's per-key std::map frontier (ref_map_kv.h) against
+// the flat chains on the same access pattern.
+void BM_MapKvLookup(benchmark::State& state) {
+  bench::RefMapKv kv;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    kv.Put(i % 100, static_cast<Timestamp>(i + 1), i, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kv.GetAtOrBefore(rng() % 100, rng() % state.range(0)));
+  }
+}
+BENCHMARK(BM_MapKvLookup)->Arg(10000)->Arg(1000000);
+
+void BM_VersionedKvPut(benchmark::State& state) {
+  for (auto _ : state) {
+    VersionedKv kv;
+    for (int i = 0; i < state.range(0); ++i) {
+      kv.Put(i % 100, static_cast<Timestamp>(i + 1), i, i);
+    }
+    benchmark::DoNotOptimize(kv.TotalVersions());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VersionedKvPut)->Arg(100000);
+
+void BM_MapKvPut(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::RefMapKv kv;
+    for (int i = 0; i < state.range(0); ++i) {
+      kv.Put(i % 100, static_cast<Timestamp>(i + 1), i, i);
+    }
+    benchmark::DoNotOptimize(kv.TotalVersions());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MapKvPut)->Arg(100000);
+
+// Streaming GC with a sparse dirty set (the paper's frequent-GC mode,
+// Fig. 6/9 gc-10k): state.range(0) keys stay clean while one hot key per
+// pass accumulates collectible versions. Each iteration is one put
+// burst plus one GC pass; the flat KV's trigger heap touches only the
+// dirty key, the map baseline re-scans every key per pass. items/sec ==
+// GC passes per second.
+template <typename Kv>
+void StreamingSparseGc(benchmark::State& state, Kv* kv) {
+  const int num_keys = static_cast<int>(state.range(0));
+  for (int k = 0; k < num_keys; ++k) {
+    kv->Put(k, 1, 1, 1);  // single clean version: never collectible
+  }
+  Timestamp ts = 10;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Key hot = i % 100;
+    kv->Put(hot, ts, 1, 1);
+    kv->Put(hot, ts + 1, 2, 2);
+    benchmark::DoNotOptimize(kv->CollectUpTo(ts + 2));
+    ts += 10;
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_VersionedKvGcSparse(benchmark::State& state) {
+  VersionedKv kv;
+  StreamingSparseGc(state, &kv);
+}
+BENCHMARK(BM_VersionedKvGcSparse)->Arg(10000)->Arg(100000);
+
+void BM_MapKvGcSparse(benchmark::State& state) {
+  bench::RefMapKv kv;
+  StreamingSparseGc(state, &kv);
+}
+BENCHMARK(BM_MapKvGcSparse)->Arg(10000)->Arg(100000);
+
+void BM_AionFootprint(benchmark::State& state) {
+  History h = MakeHistory(5000);
+  CountingSink sink;
+  Aion::Options opt;
+  opt.ext_timeout_ms = 50;
+  Aion aion(opt, &sink);
+  uint64_t now = 0;
+  for (const Transaction& t : h.txns) aion.OnTransaction(t, ++now);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aion.GetFootprint());
+  }
+  aion.Finish();
+}
+BENCHMARK(BM_AionFootprint);
 
 void BM_TimelineInsert(benchmark::State& state) {
   std::mt19937_64 rng(1);

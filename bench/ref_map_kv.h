@@ -1,0 +1,70 @@
+// Reference (pre-flat-chain) implementation of the versioned frontier:
+// per-key std::map<Timestamp, VersionEntry> with O(all-keys) GC and
+// accounting, kept verbatim as the baseline side of the old-vs-new micro
+// benchmarks in bench_micro.cc. Not used by the checker.
+#ifndef CHRONOS_BENCH_REF_MAP_KV_H_
+#define CHRONOS_BENCH_REF_MAP_KV_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "core/versioned_kv.h"
+
+namespace chronos::bench {
+
+/// The seed's node-based VersionedKv, for apples-to-apples comparison.
+class RefMapKv {
+ public:
+  using VersionMap = std::map<Timestamp, VersionEntry>;
+
+  bool Put(Key key, Timestamp ts, Value value, TxnId tid) {
+    auto [it, ok] = versions_[key].emplace(ts, VersionEntry{value, tid});
+    (void)it;
+    return ok;
+  }
+
+  VersionedKv::Lookup GetAtOrBefore(Key key, Timestamp ts) const {
+    auto it = versions_.find(key);
+    if (it == versions_.end()) return {};
+    const VersionMap& m = it->second;
+    auto vit = m.upper_bound(ts);
+    if (vit == m.begin()) return {};
+    --vit;
+    return {vit->second.value, vit->second.tid, vit->first};
+  }
+
+  size_t TotalVersions() const {
+    size_t n = 0;
+    for (const auto& [k, m] : versions_) n += m.size();
+    return n;
+  }
+
+  size_t CollectUpTo(Timestamp ts,
+                     std::vector<std::tuple<Key, Timestamp, VersionEntry>>*
+                         evicted = nullptr) {
+    size_t n = 0;
+    for (auto& [key, vmap] : versions_) {
+      auto end = vmap.upper_bound(ts);
+      if (end == vmap.begin()) continue;
+      --end;
+      for (auto it = vmap.begin(); it != end;) {
+        if (evicted) evicted->emplace_back(key, it->first, it->second);
+        it = vmap.erase(it);
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::unordered_map<Key, VersionMap> versions_;
+};
+
+}  // namespace chronos::bench
+
+#endif  // CHRONOS_BENCH_REF_MAP_KV_H_

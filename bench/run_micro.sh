@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the bench_micro google-benchmark suite and emits BENCH_micro.json
+# (items/sec for the per-transaction checker paths plus the old-vs-new
+# data-structure comparisons). The perf trajectory of this repo is the
+# series of these artifacts over PRs.
+#
+# Usage: bench/run_micro.sh [build_dir] [output_json]
+#   build_dir    defaults to ./build
+#   output_json  defaults to ./BENCH_micro.json
+#
+# CHRONOS_BENCH_SCALE (default 1) scales the figure benches, not this
+# suite; bench_micro sizes are fixed so numbers stay comparable across
+# runs.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_micro.json}"
+FILTER="${BENCH_FILTER:-BM_AionPerTxn|BM_ChronosPerTxn|BM_VersionedKv|BM_MapKv|BM_AionFootprint}"
+MIN_TIME="${BENCH_MIN_TIME:-0.5}"
+
+BIN="$BUILD_DIR/bench_micro"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found; build with: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_filter="$FILTER" \
+       --benchmark_min_time="$MIN_TIME" \
+       --benchmark_format=json >"$OUT"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+print(f"wrote {sys.argv[1]}:")
+for b in d.get("benchmarks", []):
+    ips = b.get("items_per_second")
+    if ips:
+        print(f"  {b['name']:<32} {ips:>14,.0f} items/s")
+    else:
+        print(f"  {b['name']:<32} {b['real_time']:>10.0f} {b['time_unit']}")
+EOF

@@ -49,11 +49,12 @@ void Aion::OnTransaction(const Transaction& t, uint64_t now_ms) {
   bool dup = false;
   if (ser) {
     dup = !used_ts_.insert(t.commit_ts).second;
+    if (!dup) used_ts_min_.push(t.commit_ts);
   } else {
     dup = used_ts_.count(t.start_ts) || used_ts_.count(t.commit_ts);
     if (!dup) {
-      used_ts_.insert(t.start_ts);
-      used_ts_.insert(t.commit_ts);
+      if (used_ts_.insert(t.start_ts).second) used_ts_min_.push(t.start_ts);
+      if (used_ts_.insert(t.commit_ts).second) used_ts_min_.push(t.commit_ts);
     }
   }
   if (dup) {
@@ -77,14 +78,36 @@ void Aion::OnTransaction(const Transaction& t, uint64_t now_ms) {
   // Step-3 re-checking can find it (its own reads are never in the
   // affected range: an SI read view precedes its own commit and SER
   // readers see strictly earlier versions only).
-  TxnRec& stored = txns_.emplace(t.tid, std::move(rec)).first->second;
-  commit_index_.emplace(t.commit_ts, t.tid);
-  unfinalized_views_.insert(stored.view_ts);
-  for (uint32_t i = 0; i < stored.ext_reads.size(); ++i) {
-    reader_index_[stored.ext_reads[i].key].emplace(stored.view_ts,
-                                                   std::make_pair(t.tid, i));
+  auto [stored_it, inserted] = txns_.emplace(t.tid, std::move(rec));
+  TxnRec& stored = stored_it->second;
+  // A replayed tid keeps its original record and registrations: pushing
+  // its view on the heap again would outlive the single finalize
+  // tombstone and pin the GC watermark forever. Its writes below still
+  // go through Steps 2-3 like any other arrival.
+  if (inserted) {
+    if (commit_index_.empty() || t.commit_ts > commit_index_.back().first) {
+      commit_index_.emplace_back(t.commit_ts, t.tid);  // common: in order
+    } else {
+      auto pos = std::lower_bound(
+          commit_index_.begin(), commit_index_.end(), t.commit_ts,
+          [](const auto& p, Timestamp ts) { return p.first < ts; });
+      commit_index_.insert(pos, {t.commit_ts, t.tid});
+    }
+    view_heap_.push(stored.view_ts);
+    for (uint32_t i = 0; i < stored.ext_reads.size(); ++i) {
+      ReaderChain& chain = reader_index_[stored.ext_reads[i].key];
+      ReaderRef ref{stored.view_ts, t.tid, i};
+      if (chain.empty() || stored.view_ts > chain.back().view_ts) {
+        chain.push_back(ref);  // common: views arrive in near-ts order
+      } else {
+        auto pos = std::lower_bound(
+            chain.begin(), chain.end(), stored.view_ts,
+            [](const ReaderRef& r, Timestamp ts) { return r.view_ts < ts; });
+        chain.insert(pos, ref);
+      }
+    }
+    deadlines_.emplace_back(last_now_ms_ + options_.ext_timeout_ms, t.tid);
   }
-  deadlines_.emplace(last_now_ms_ + options_.ext_timeout_ms, t.tid);
 
   // Step 3 (per written key): install the version and re-check EXT for
   // affected readers.
@@ -233,23 +256,32 @@ void Aion::InstallVersionAndRecheck(const Transaction& t, Key key, Value value,
 
   auto rit = reader_index_.find(key);
   if (rit == reader_index_.end()) return;
-  auto& readers = rit->second;
+  const ReaderChain& readers = rit->second;
 
   // Affected read views: SI sees versions with cts <= view, so the range
   // is [cts, next); SER sees versions with cts < view, so it is (cts,
   // next].
-  auto begin = ser ? readers.upper_bound(cts) : readers.lower_bound(cts);
+  auto view_lt = [](const ReaderRef& r, Timestamp ts) {
+    return r.view_ts < ts;
+  };
+  auto view_gt = [](Timestamp ts, const ReaderRef& r) {
+    return ts < r.view_ts;
+  };
+  auto begin = ser ? std::upper_bound(readers.begin(), readers.end(), cts,
+                                      view_gt)
+                   : std::lower_bound(readers.begin(), readers.end(), cts,
+                                      view_lt);
   for (auto it = begin; it != readers.end(); ++it) {
     if (next) {
-      if (ser ? it->first > *next : it->first >= *next) break;
+      if (ser ? it->view_ts > *next : it->view_ts >= *next) break;
     }
-    auto [rtid, ri] = it->second;
-    auto tit = txns_.find(rtid);
+    auto tit = txns_.find(it->tid);
     if (tit == txns_.end()) continue;
     TxnRec& reader = tit->second;
     if (reader.finalized) continue;  // Algorithm 3 line 40
-    if (rtid == t.tid) continue;
-    ExtReadState& er = reader.ext_reads[ri];
+    if (it->tid == t.tid) continue;
+    const TxnId rtid = it->tid;
+    ExtReadState& er = reader.ext_reads[it->read_idx];
     bool now_satisfied = (er.observed == value);
     ++stats_.ext_rechecks;
     if (now_satisfied != er.satisfied) {
@@ -318,7 +350,7 @@ void Aion::CheckNoConflict(const Transaction& t) {
 void Aion::FinalizeTxn(TxnRec* rec) {
   if (rec->finalized) return;
   rec->finalized = true;
-  unfinalized_views_.erase(rec->view_ts);
+  finalized_views_.insert(rec->view_ts);
   for (const ExtReadState& er : rec->ext_reads) {
     flip_stats_.RecordPairDone(er.flips);
     if (!er.satisfied) {
@@ -329,10 +361,21 @@ void Aion::FinalizeTxn(TxnRec* rec) {
   }
 }
 
+std::optional<Timestamp> Aion::OldestUnfinalizedView() {
+  while (!view_heap_.empty()) {
+    Timestamp v = view_heap_.top();
+    auto it = finalized_views_.find(v);
+    if (it == finalized_views_.end()) return v;
+    view_heap_.pop();
+    finalized_views_.erase(it);
+  }
+  return std::nullopt;
+}
+
 void Aion::FireDeadlines(uint64_t now_ms) {
-  while (!deadlines_.empty() && deadlines_.top().first <= now_ms) {
-    TxnId tid = deadlines_.top().second;
-    deadlines_.pop();
+  while (!deadlines_.empty() && deadlines_.front().first <= now_ms) {
+    TxnId tid = deadlines_.front().second;
+    deadlines_.pop_front();
     auto it = txns_.find(tid);
     if (it != txns_.end()) FinalizeTxn(&it->second);
   }
@@ -345,8 +388,8 @@ void Aion::AdvanceTime(uint64_t now_ms) {
 
 void Aion::Finish() {
   while (!deadlines_.empty()) {
-    TxnId tid = deadlines_.top().second;
-    deadlines_.pop();
+    TxnId tid = deadlines_.front().second;
+    deadlines_.pop_front();
     auto it = txns_.find(tid);
     if (it != txns_.end()) FinalizeTxn(&it->second);
   }
@@ -357,10 +400,9 @@ Timestamp Aion::Gc(Timestamp up_to) {
   // may fall at or below the eviction point, otherwise a future Step-3
   // re-check could silently use an incomplete version bound.
   Timestamp effective = up_to;
-  if (!unfinalized_views_.empty()) {
-    Timestamp oldest = *unfinalized_views_.begin();
-    if (oldest == kTsMin) return watermark_;
-    effective = std::min(effective, oldest - 1);
+  if (std::optional<Timestamp> oldest = OldestUnfinalizedView()) {
+    if (*oldest == kTsMin) return watermark_;
+    effective = std::min(effective, *oldest - 1);
   }
   if (effective <= watermark_) return watermark_;
 
@@ -373,26 +415,42 @@ Timestamp Aion::Gc(Timestamp up_to) {
   if (id != 0) spill_epochs_.push_back(id);
 
   // Drop finalized transaction records committed at or below the line.
-  for (auto it = commit_index_.begin();
-       it != commit_index_.end() && it->first <= effective;) {
-    auto tit = txns_.find(it->second);
-    if (tit != txns_.end() && tit->second.finalized) {
-      for (const ExtReadState& er : tit->second.ext_reads) {
-        auto rit = reader_index_.find(er.key);
-        if (rit != reader_index_.end()) {
-          rit->second.erase(tit->second.view_ts);
-          if (rit->second.empty()) reader_index_.erase(rit);
+  // Reader refs are batch-compacted per key afterwards: erasing each ref
+  // individually would make a pass over a hot key's chain quadratic.
+  std::unordered_map<Key, std::vector<Timestamp>> dropped_views;
+  auto line_end = std::upper_bound(
+      commit_index_.begin(), commit_index_.end(), effective,
+      [](Timestamp ts, const auto& p) { return ts < p.first; });
+  auto keep = std::remove_if(
+      commit_index_.begin(), line_end, [&](const std::pair<Timestamp, TxnId>& p) {
+        auto tit = txns_.find(p.second);
+        if (tit == txns_.end() || !tit->second.finalized) return false;
+        for (const ExtReadState& er : tit->second.ext_reads) {
+          dropped_views[er.key].push_back(tit->second.view_ts);
         }
-      }
-      txns_.erase(tit);
-      it = commit_index_.erase(it);
-    } else {
-      ++it;
-    }
+        txns_.erase(tit);
+        return true;
+      });
+  commit_index_.erase(keep, line_end);
+  for (auto& [key, views] : dropped_views) {
+    auto rit = reader_index_.find(key);
+    if (rit == reader_index_.end()) continue;
+    std::sort(views.begin(), views.end());
+    ReaderChain& chain = rit->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const ReaderRef& r) {
+                                 return std::binary_search(
+                                     views.begin(), views.end(), r.view_ts);
+                               }),
+                chain.end());
+    if (chain.empty()) reader_index_.erase(rit);
   }
   // Timestamp-uniqueness bookkeeping below the line is no longer needed;
   // duplicates of recycled timestamps would be stragglers anyway.
-  used_ts_.erase(used_ts_.begin(), used_ts_.upper_bound(effective));
+  while (!used_ts_min_.empty() && used_ts_min_.top() <= effective) {
+    used_ts_.erase(used_ts_min_.top());
+    used_ts_min_.pop();
+  }
 
   watermark_ = effective;
   return watermark_;
@@ -403,15 +461,13 @@ void Aion::GcToLiveTarget(size_t target) {
   // Fast reject: if the oldest unfinalized view already pins the
   // watermark, no amount of scanning will free anything (asynchrony
   // preventing recycling, Sec. III-C2 challenge 3).
-  if (!unfinalized_views_.empty()) {
-    Timestamp oldest = *unfinalized_views_.begin();
-    if (oldest == kTsMin || oldest - 1 <= watermark_) return;
+  if (std::optional<Timestamp> oldest = OldestUnfinalizedView()) {
+    if (*oldest == kTsMin || *oldest - 1 <= watermark_) return;
   }
   size_t excess = txns_.size() - target;
-  auto it = commit_index_.begin();
   Timestamp line = kTsMin;
-  for (size_t i = 0; i < excess && it != commit_index_.end(); ++i, ++it) {
-    line = it->first;
+  if (excess > 0 && !commit_index_.empty()) {
+    line = commit_index_[std::min(excess, commit_index_.size()) - 1].first;
   }
   if (line != kTsMin) Gc(line);
 }

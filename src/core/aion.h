@@ -19,13 +19,14 @@
 #define CHRONOS_CORE_AION_H_
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <queue>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/flipflop_stats.h"
@@ -133,6 +134,18 @@ class Aion {
     std::unordered_set<uint64_t> skipped_snos;
   };
 
+  // One external-read registration: txn `tid` read `key` at `view_ts`,
+  // stored as ext_reads[read_idx]. Chains are flat vectors sorted by
+  // view_ts (append-mostly: views arrive in near-timestamp order). At
+  // most one external read per (txn, key), and view timestamps are
+  // unique per transaction.
+  struct ReaderRef {
+    Timestamp view_ts = kTsMin;
+    TxnId tid = kTxnNone;
+    uint32_t read_idx = 0;
+  };
+  using ReaderChain = std::vector<ReaderRef>;
+
   // Frontier lookup honoring the GC watermark: below it, consults the
   // spill store (latest version of `key` at or before `view`).
   VersionedKv::Lookup LookupFrontier(Key key, Timestamp view);
@@ -146,6 +159,9 @@ class Aion {
   void CheckNoConflict(const Transaction& t);
   void FinalizeTxn(TxnRec* rec);
   void FireDeadlines(uint64_t now_ms);
+  // Oldest view among unfinalized transactions (lazily drops finalized
+  // views off the heap top). nullopt when everything is finalized.
+  std::optional<Timestamp> OldestUnfinalizedView();
 
   Options options_;
   ViolationSink* sink_;
@@ -160,19 +176,22 @@ class Aion {
   mutable std::vector<std::pair<uint64_t, SpillPayload>> epoch_cache_;
 
   std::unordered_map<TxnId, TxnRec> txns_;
-  std::map<Timestamp, TxnId> commit_index_;       // cts -> tid (live txns)
-  std::set<Timestamp> unfinalized_views_;
-  std::set<Timestamp> used_ts_;
+  // (cts, tid) of live txns, sorted by cts (append-mostly flat map).
+  std::vector<std::pair<Timestamp, TxnId>> commit_index_;
+  // Unfinalized read views: min-heap plus a lazy tombstone set.
+  std::priority_queue<Timestamp, std::vector<Timestamp>, std::greater<>>
+      view_heap_;
+  std::unordered_set<Timestamp> finalized_views_;
+  // Timestamp-uniqueness tracking: O(1) membership plus a min-heap so GC
+  // can drop everything below the watermark in O(dropped log n).
+  std::unordered_set<Timestamp> used_ts_;
+  std::priority_queue<Timestamp, std::vector<Timestamp>, std::greater<>>
+      used_ts_min_;
   std::unordered_map<SessionId, SessionState> sessions_;
-  // Per key: view_ts -> (tid, index into ext_reads). At most one external
-  // read per (txn, key), and view timestamps are unique per transaction.
-  std::unordered_map<Key, std::map<Timestamp, std::pair<TxnId, uint32_t>>>
-      reader_index_;
-  // (deadline, tid) min-heap for EXT timeouts.
-  std::priority_queue<std::pair<uint64_t, TxnId>,
-                      std::vector<std::pair<uint64_t, TxnId>>,
-                      std::greater<>>
-      deadlines_;
+  std::unordered_map<Key, ReaderChain> reader_index_;
+  // (deadline, tid) FIFO for EXT timeouts: arrival time is non-decreasing
+  // and the timeout is constant, so deadlines are already sorted.
+  std::deque<std::pair<uint64_t, TxnId>> deadlines_;
   Timestamp watermark_ = kTsMin;
   uint64_t last_now_ms_ = 0;
 };

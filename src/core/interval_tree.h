@@ -11,7 +11,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -216,11 +218,17 @@ class IntervalTree {
 };
 
 /// Per-key collection of interval trees (the full ongoing_ts structure).
+/// `TotalIntervals()` is an O(1) running counter, and `CollectUpTo` is
+/// O(dirty): a lazy min-heap of (interval end, key) entries — one armed
+/// per insert — means a GC pass visits only keys that actually hold an
+/// interval ending at or below the watermark.
 class OngoingIndex {
  public:
   /// Registers txn `tid` as holding key `key` over [start, commit].
   void Add(Key key, Timestamp start, Timestamp commit, TxnId tid) {
     trees_[key].Insert({start, commit, tid});
+    gc_triggers_.push({commit, key});
+    ++total_;
   }
 
   /// All writer intervals of `key` overlapping [lo, hi].
@@ -232,31 +240,46 @@ class OngoingIndex {
     return out;
   }
 
-  /// GC: drop intervals wholly at or below `ts`.
+  /// GC: drop intervals wholly at or below `ts`. Visits only dirty keys.
   size_t CollectUpTo(Timestamp ts,
                      std::vector<std::pair<Key, WriteInterval>>* evicted) {
     size_t n = 0;
-    for (auto& [key, tree] : trees_) {
-      std::vector<WriteInterval> local;
-      n += tree.EvictEndingUpTo(ts, &local);
+    std::vector<WriteInterval> local;
+    while (!gc_triggers_.empty() && gc_triggers_.top().first <= ts) {
+      Key key = gc_triggers_.top().second;
+      gc_triggers_.pop();
+      auto it = trees_.find(key);
+      if (it == trees_.end()) continue;  // stale: key already emptied
+      local.clear();
+      size_t evicted_here = it->second.EvictEndingUpTo(ts, &local);
+      n += evicted_here;
+      total_ -= evicted_here;
       if (evicted) {
         for (const auto& iv : local) evicted->emplace_back(key, iv);
       }
+      if (it->second.empty()) trees_.erase(it);
     }
     return n;
   }
 
   /// Spill-reload path.
-  void Restore(Key key, const WriteInterval& iv) { trees_[key].Insert(iv); }
-
-  size_t TotalIntervals() const {
-    size_t n = 0;
-    for (const auto& [k, t] : trees_) n += t.size();
-    return n;
+  void Restore(Key key, const WriteInterval& iv) {
+    Add(key, iv.start, iv.end, iv.tid);
   }
+
+  /// Live interval count. O(1).
+  size_t TotalIntervals() const { return total_; }
 
  private:
   std::unordered_map<Key, IntervalTree> trees_;
+  size_t total_ = 0;
+  // Lazy min-heap: every live interval has one (end, key) entry, so any
+  // interval with end <= ts is reachable by popping triggers <= ts.
+  // Entries outlive their interval (eviction drains whole keys at once);
+  // such stale pops are skipped.
+  std::priority_queue<std::pair<Timestamp, Key>,
+                      std::vector<std::pair<Timestamp, Key>>, std::greater<>>
+      gc_triggers_;
 };
 
 }  // namespace chronos

@@ -1,14 +1,27 @@
 // The timestamp-versioned frontier (`frontier_ts` of Algorithm 3), stored
-// per key as an ordered map commit_ts -> value. See DESIGN.md Sec. 1.1:
-// per-key version storage makes the paper's lines 3:56-57 (propagating a
-// late writer's value into later frontier versions) automatic.
+// per key as a flat, sorted, append-mostly version chain. Commits arrive
+// in near-timestamp order, so the common insert is a push_back; the rare
+// out-of-order writer pays one binary search plus a tail move. Frontier
+// queries (`GetAtOrBefore`/`GetBefore`/`NextVersionAfter`) are binary
+// searches over contiguous memory. See DESIGN.md Sec. 1.1: per-key
+// version storage makes the paper's lines 3:56-57 (propagating a late
+// writer's value into later frontier versions) automatic.
+//
+// Accounting is incremental: `TotalVersions()`/`ApproxBytes()` are O(1)
+// running counters, and `CollectUpTo` is O(dirty): a lazy min-trigger
+// heap tracks only keys whose chain has >= 2 versions, keyed by the
+// timestamp of the chain's second version — the exact watermark at which
+// the key first yields an eviction.
 #ifndef CHRONOS_CORE_VERSIONED_KV_H_
 #define CHRONOS_CORE_VERSIONED_KV_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <queue>
+#include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/types.h"
@@ -22,11 +35,18 @@ struct VersionEntry {
 };
 
 /// A multi-version register map with "latest version at or before ts"
-/// queries. All operations are amortized O(log V) in the number of live
-/// versions of the queried key.
+/// queries. Inserts are amortized O(1) for in-order commits; queries are
+/// O(log V) binary searches in the queried key's contiguous chain.
 class VersionedKv {
  public:
-  using VersionMap = std::map<Timestamp, VersionEntry>;
+  /// One element of a key's flat chain.
+  struct Version {
+    Timestamp ts = kTsMin;
+    Value value = kValueInit;
+    TxnId tid = kTxnNone;
+  };
+  /// A key's versions, sorted ascending by ts.
+  using Chain = std::vector<Version>;
 
   /// Result of a frontier query.
   struct Lookup {
@@ -38,9 +58,23 @@ class VersionedKv {
   /// Inserts the version (ts -> value by tid) for `key`. Returns false if a
   /// version with the same timestamp already exists (duplicate commit ts).
   bool Put(Key key, Timestamp ts, Value value, TxnId tid) {
-    auto [it, ok] = versions_[key].emplace(ts, VersionEntry{value, tid});
-    (void)it;
-    return ok;
+    Chain& chain = versions_[key];
+    if (chain.empty() || ts > chain.back().ts) {
+      chain.push_back({ts, value, tid});        // common case: in-order
+    } else {
+      auto it = LowerBound(chain, ts);
+      if (it != chain.end() && it->ts == ts) return false;
+      chain.insert(it, {ts, value, tid});
+    }
+    ++total_versions_;
+    // A chain becomes collectible once >= 2 of its versions sit at or
+    // below a watermark; that first happens at chain[1].ts. Re-arm when
+    // the insert created or lowered that trigger.
+    if (chain.size() >= 2 &&
+        (chain.size() == 2 || ts <= chain[1].ts)) {
+      gc_triggers_.push({chain[1].ts, key});
+    }
+    return true;
   }
 
   /// The latest version with commit ts <= `ts` (paper's frontier_ts[ts^]).
@@ -60,17 +94,14 @@ class VersionedKv {
   std::optional<Timestamp> NextVersionAfter(Key key, Timestamp ts) const {
     auto it = versions_.find(key);
     if (it == versions_.end()) return std::nullopt;
-    auto vit = it->second.upper_bound(ts);
-    if (vit == it->second.end()) return std::nullopt;
-    return vit->first;
+    const Chain& chain = it->second;
+    auto vit = UpperBound(chain, ts);
+    if (vit == chain.end()) return std::nullopt;
+    return vit->ts;
   }
 
-  /// Number of live versions across all keys.
-  size_t TotalVersions() const {
-    size_t n = 0;
-    for (const auto& [k, m] : versions_) n += m.size();
-    return n;
-  }
+  /// Number of live versions across all keys. O(1).
+  size_t TotalVersions() const { return total_versions_; }
 
   size_t NumKeys() const { return versions_.size(); }
 
@@ -78,58 +109,105 @@ class VersionedKv {
   /// single latest qualifying version as the "base" so that queries at or
   /// above `ts` stay answerable. Evicted versions are appended to `evicted`
   /// (for spilling to disk) when non-null. Returns the eviction count.
+  ///
+  /// O(dirty): only keys whose armed trigger fired are visited; clean keys
+  /// are never touched.
   size_t CollectUpTo(Timestamp ts,
                      std::vector<std::tuple<Key, Timestamp, VersionEntry>>*
                          evicted = nullptr) {
     size_t n = 0;
-    for (auto& [key, vmap] : versions_) {
-      auto end = vmap.upper_bound(ts);
-      if (end == vmap.begin()) continue;
-      --end;  // keep the latest version <= ts as the base
-      for (auto it = vmap.begin(); it != end;) {
-        if (evicted) evicted->emplace_back(key, it->first, it->second);
-        it = vmap.erase(it);
-        ++n;
+    std::unordered_set<Key> visited;
+    while (!gc_triggers_.empty() && gc_triggers_.top().first <= ts) {
+      Key key = gc_triggers_.top().second;
+      gc_triggers_.pop();
+      if (!visited.insert(key).second) continue;  // stale duplicate entry
+      auto it = versions_.find(key);
+      if (it == versions_.end()) continue;        // stale: key dropped
+      Chain& chain = it->second;
+      auto end = UpperBound(chain, ts);
+      if (end - chain.begin() >= 2) {
+        --end;  // keep the latest version <= ts as the base
+        size_t removed = static_cast<size_t>(end - chain.begin());
+        if (evicted) {
+          for (auto vit = chain.begin(); vit != end; ++vit) {
+            evicted->emplace_back(key, vit->ts,
+                                  VersionEntry{vit->value, vit->tid});
+          }
+        }
+        chain.erase(chain.begin(), end);
+        total_versions_ -= removed;
+        n += removed;
       }
+      // Re-arm at the key's next trigger point (now above `ts`).
+      if (chain.size() >= 2) gc_triggers_.push({chain[1].ts, key});
     }
     return n;
   }
 
   /// Re-inserts a previously evicted version (spill reload path).
   void Restore(Key key, Timestamp ts, const VersionEntry& e) {
-    versions_[key].emplace(ts, e);
+    Put(key, ts, e.value, e.tid);
   }
 
-  /// Direct access to a key's version map (for tests/inspection).
-  const VersionMap* Find(Key key) const {
+  /// Direct access to a key's chain (for tests/inspection).
+  const Chain* Find(Key key) const {
     auto it = versions_.find(key);
     return it == versions_.end() ? nullptr : &it->second;
   }
 
-  /// Approximate heap footprint in bytes (for the memory figures).
+  /// Approximate heap footprint in bytes. O(1): derived from the running
+  /// counters plus the hash-map geometry; close enough for the relative
+  /// memory curves of Fig. 7/10/16.
   size_t ApproxBytes() const {
-    // unordered_map bucket + per-node overhead estimates; close enough for
-    // the relative memory curves of Fig. 7/10/16.
-    size_t bytes = versions_.bucket_count() * sizeof(void*);
-    for (const auto& [k, m] : versions_) {
-      (void)k;
-      bytes += 64 + m.size() * (sizeof(Timestamp) + sizeof(VersionEntry) + 48);
-    }
-    return bytes;
+    return versions_.bucket_count() * sizeof(void*) +
+           versions_.size() * (sizeof(Chain) + 48) +
+           total_versions_ * sizeof(Version);
   }
 
  private:
+  // Heterogeneous ts <-> Version comparator for the sorted chains.
+  struct TsOrder {
+    bool operator()(const Version& v, Timestamp t) const { return v.ts < t; }
+    bool operator()(Timestamp t, const Version& v) const { return t < v.ts; }
+  };
+  template <typename ChainT>
+  static auto LowerBound(ChainT& chain, Timestamp ts)
+      -> decltype(chain.begin()) {
+    return std::lower_bound(chain.begin(), chain.end(), ts, TsOrder{});
+  }
+  template <typename ChainT>
+  static auto UpperBound(ChainT& chain, Timestamp ts)
+      -> decltype(chain.begin()) {
+    return std::upper_bound(chain.begin(), chain.end(), ts, TsOrder{});
+  }
+
   Lookup GetBound(Key key, Timestamp ts, bool inclusive) const {
     auto it = versions_.find(key);
     if (it == versions_.end()) return Lookup{};
-    const VersionMap& m = it->second;
-    auto vit = inclusive ? m.upper_bound(ts) : m.lower_bound(ts);
-    if (vit == m.begin()) return Lookup{};
+    const Chain& chain = it->second;
+    // Fast path: the chain's newest version qualifies (frontier reads at
+    // the current edge dominate in-order streams).
+    if (!chain.empty()) {
+      const Version& back = chain.back();
+      if (inclusive ? back.ts <= ts : back.ts < ts) {
+        return Lookup{back.value, back.tid, back.ts};
+      }
+    }
+    auto vit = inclusive ? UpperBound(chain, ts) : LowerBound(chain, ts);
+    if (vit == chain.begin()) return Lookup{};
     --vit;
-    return Lookup{vit->second.value, vit->second.tid, vit->first};
+    return Lookup{vit->value, vit->tid, vit->ts};
   }
 
-  std::unordered_map<Key, VersionMap> versions_;
+  std::unordered_map<Key, Chain> versions_;
+  size_t total_versions_ = 0;
+  // Lazy min-heap of (chain[1].ts at arm time, key). Invariant: every key
+  // with >= 2 versions has an entry whose trigger <= its current
+  // chain[1].ts, so CollectUpTo never misses a collectible key. Entries
+  // may be stale (key re-armed or shrunk); stale pops are skipped.
+  std::priority_queue<std::pair<Timestamp, Key>,
+                      std::vector<std::pair<Timestamp, Key>>, std::greater<>>
+      gc_triggers_;
 };
 
 }  // namespace chronos

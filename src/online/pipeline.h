@@ -68,6 +68,17 @@ RunResult RunMaxRate(Aion* checker,
 void RunVirtualTime(Aion* checker,
                     const std::vector<hist::CollectedTxn>& stream);
 
+/// Two-stage collector->checker pipeline (paper Fig. 3): a producer
+/// thread batches the stream into a bounded queue (`PushBatch`, one lock
+/// per batch) and the calling thread drains it with `PopBatch`, feeding
+/// the single checker. GC policy, sampling, and the reported RunResult
+/// series are identical to RunMaxRate on the same stream, so Fig. 12
+/// style runs can use either driver interchangeably.
+RunResult RunThreaded(Aion* checker,
+                      const std::vector<hist::CollectedTxn>& stream,
+                      const GcPolicy& gc, uint64_t sample_every = 10000,
+                      size_t batch_size = 500, size_t queue_capacity = 4096);
+
 }  // namespace chronos::online
 
 #endif  // CHRONOS_ONLINE_PIPELINE_H_

@@ -1,12 +1,18 @@
 // Bounded multi-producer single-consumer queue connecting the history
 // collector to the online checker thread (paper Fig. 3 pipeline).
+// Batch variants (`PushBatch`/`PopBatch`) amortize the lock to one
+// acquisition per batch, matching the collector's batched dispatch
+// (500 transactions per batch in the paper).
 #ifndef CHRONOS_ONLINE_QUEUE_H_
 #define CHRONOS_ONLINE_QUEUE_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
+#include <vector>
 
 namespace chronos::online {
 
@@ -15,7 +21,9 @@ namespace chronos::online {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+  // Capacity 0 would make PushBatch's chunking spin forever; clamp.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
 
   /// Blocks while full. Returns false if the queue was closed.
   bool Push(T item) {
@@ -34,8 +42,52 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    // notify_all: batch producers wait for multi-slot room, so a
+    // notify_one could land on a waiter whose predicate is still false.
+    not_full_.notify_all();
     return item;
+  }
+
+  /// Pushes every element of `batch` (in order) under one lock
+  /// acquisition. A batch that fits the capacity is enqueued atomically
+  /// (contiguously, even with competing producers) once enough room
+  /// frees up; an oversized batch is split into capacity-sized chunks,
+  /// each atomic. Returns false if the queue was closed before the whole
+  /// batch was enqueued (the unpushed remainder is dropped).
+  bool PushBatch(std::vector<T>&& batch) {
+    size_t i = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (i < batch.size()) {
+      size_t chunk = std::min(batch.size() - i, capacity_);
+      not_full_.wait(lock, [&] {
+        return closed_ || capacity_ - items_.size() >= chunk;
+      });
+      if (closed_) return false;
+      for (size_t j = 0; j < chunk; ++j) {
+        items_.push_back(std::move(batch[i + j]));
+      }
+      i += chunk;
+      not_empty_.notify_one();
+    }
+    return true;
+  }
+
+  /// Pops up to `max_items` elements into `*out` (cleared first) under a
+  /// single lock acquisition; blocks while empty. Returns false — with
+  /// `*out` empty — only when the queue is closed and drained.
+  bool PopBatch(std::vector<T>* out, size_t max_items) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    size_t n = std::min(max_items, items_.size());
+    out->reserve(n);
+    for (size_t j = 0; j < n; ++j) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_all();
+    return true;
   }
 
   void Close() {

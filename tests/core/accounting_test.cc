@@ -1,0 +1,147 @@
+// Incremental-accounting invariants of the flat hot-path structures:
+// VersionedKv's running version/byte counters and trigger-heap GC, and
+// OngoingIndex's running interval counter, must stay exact under every
+// mutation order (in-order puts, out-of-order puts, GC, restore).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/interval_tree.h"
+#include "core/versioned_kv.h"
+
+namespace chronos {
+namespace {
+
+TEST(VersionedKvAccountingTest, TotalVersionsTracksPutEvictRestore) {
+  VersionedKv kv;
+  EXPECT_EQ(kv.TotalVersions(), 0u);
+  kv.Put(1, 10, 1, 100);
+  kv.Put(1, 20, 2, 101);
+  kv.Put(2, 15, 5, 102);
+  EXPECT_EQ(kv.TotalVersions(), 3u);
+
+  std::vector<std::tuple<Key, Timestamp, VersionEntry>> evicted;
+  EXPECT_EQ(kv.CollectUpTo(25, &evicted), 1u);  // key 1: ts-10 out
+  EXPECT_EQ(kv.TotalVersions(), 2u);
+
+  for (const auto& [k, ts, e] : evicted) kv.Restore(k, ts, e);
+  EXPECT_EQ(kv.TotalVersions(), 3u);
+  EXPECT_EQ(kv.GetAtOrBefore(1, 15).value, 1);
+}
+
+TEST(VersionedKvAccountingTest, ApproxBytesGrowsAndShrinks) {
+  VersionedKv kv;
+  size_t empty = kv.ApproxBytes();
+  for (int i = 0; i < 1000; ++i) {
+    kv.Put(i % 10, static_cast<Timestamp>(i + 1), i, i);
+  }
+  size_t full = kv.ApproxBytes();
+  EXPECT_GT(full, empty);
+  kv.CollectUpTo(900);
+  EXPECT_LT(kv.ApproxBytes(), full);
+}
+
+TEST(VersionedKvAccountingTest, OutOfOrderPutKeepsChainSorted) {
+  VersionedKv kv;
+  kv.Put(1, 30, 3, 103);
+  kv.Put(1, 10, 1, 101);  // straggler below the chain head
+  kv.Put(1, 20, 2, 102);  // straggler in the middle
+  EXPECT_EQ(kv.GetAtOrBefore(1, 15).value, 1);
+  EXPECT_EQ(kv.GetAtOrBefore(1, 25).value, 2);
+  EXPECT_EQ(kv.GetAtOrBefore(1, 35).value, 3);
+  EXPECT_EQ(kv.NextVersionAfter(1, 10).value(), 20u);
+  EXPECT_FALSE(kv.Put(1, 20, 9, 104)) << "duplicate ts must be rejected";
+  EXPECT_EQ(kv.TotalVersions(), 3u);
+}
+
+TEST(VersionedKvAccountingTest, GcCollectsKeyDirtiedByOutOfOrderPut) {
+  // A key armed for GC, collected, then re-dirtied below the old
+  // watermark by a straggler: the trigger heap must re-arm it.
+  VersionedKv kv;
+  kv.Put(1, 10, 1, 101);
+  kv.Put(1, 50, 5, 105);
+  EXPECT_EQ(kv.CollectUpTo(60), 1u);  // ts-10 out, ts-50 is the base
+  kv.Put(1, 70, 7, 107);
+  kv.Put(1, 60, 6, 106);  // out-of-order: between base and head
+  EXPECT_EQ(kv.CollectUpTo(80), 2u) << "ts-50 and ts-60 must be evicted";
+  EXPECT_EQ(kv.GetAtOrBefore(1, 100).value, 7);
+  EXPECT_EQ(kv.TotalVersions(), 1u);
+}
+
+TEST(VersionedKvAccountingTest, SparseGcMatchesFullScanSemantics) {
+  // Randomized: O(dirty) GC must evict exactly what the seed's full-key
+  // scan evicted — per key, everything strictly below the latest version
+  // at or under the watermark.
+  std::mt19937_64 rng(42);
+  VersionedKv kv;
+  std::map<Key, std::map<Timestamp, Value>> reference;
+  for (int i = 0; i < 2000; ++i) {
+    Key k = rng() % 50;
+    Timestamp ts = 1 + rng() % 10000;
+    Value v = static_cast<Value>(rng() % 1000);
+    bool ok = kv.Put(k, ts, v, i);
+    bool ref_ok = reference[k].emplace(ts, v).second;
+    ASSERT_EQ(ok, ref_ok);
+  }
+  for (Timestamp wm : {2000u, 5000u, 5000u, 9000u}) {
+    size_t expect_evicted = 0;
+    for (auto& [k, m] : reference) {
+      auto end = m.upper_bound(wm);
+      if (end == m.begin()) continue;
+      --end;
+      while (m.begin() != end) {
+        m.erase(m.begin());
+        ++expect_evicted;
+      }
+    }
+    EXPECT_EQ(kv.CollectUpTo(wm), expect_evicted) << "watermark " << wm;
+    size_t ref_total = 0;
+    for (const auto& [k, m] : reference) ref_total += m.size();
+    ASSERT_EQ(kv.TotalVersions(), ref_total);
+    for (const auto& [k, m] : reference) {
+      for (const auto& [ts, v] : m) {
+        ASSERT_EQ(kv.GetAtOrBefore(k, ts).value, v)
+            << "key " << k << " ts " << ts;
+      }
+    }
+  }
+}
+
+TEST(OngoingIndexAccountingTest, TotalIntervalsTracksAddEvictRestore) {
+  OngoingIndex idx;
+  EXPECT_EQ(idx.TotalIntervals(), 0u);
+  idx.Add(1, 10, 20, 100);
+  idx.Add(1, 30, 40, 101);
+  idx.Add(2, 5, 50, 102);
+  EXPECT_EQ(idx.TotalIntervals(), 3u);
+
+  std::vector<std::pair<Key, WriteInterval>> evicted;
+  EXPECT_EQ(idx.CollectUpTo(25, &evicted), 1u);  // key 1's [10,20]
+  EXPECT_EQ(idx.TotalIntervals(), 2u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].second.tid, 100u);
+
+  idx.Restore(evicted[0].first, evicted[0].second);
+  EXPECT_EQ(idx.TotalIntervals(), 3u);
+  EXPECT_EQ(idx.Overlapping(1, 12, 18).size(), 1u);
+}
+
+TEST(OngoingIndexAccountingTest, RepeatedGcOnlyTouchesDirtyKeys) {
+  OngoingIndex idx;
+  for (Key k = 0; k < 100; ++k) {
+    idx.Add(k, 1000 + k, 2000 + k, k);  // all high: clean at low watermark
+  }
+  idx.Add(7, 1, 2, 999);
+  EXPECT_EQ(idx.CollectUpTo(10, nullptr), 1u);
+  EXPECT_EQ(idx.CollectUpTo(10, nullptr), 0u) << "second pass is a no-op";
+  EXPECT_EQ(idx.TotalIntervals(), 100u);
+  EXPECT_EQ(idx.CollectUpTo(2100, nullptr), 100u);
+  EXPECT_EQ(idx.TotalIntervals(), 0u);
+}
+
+}  // namespace
+}  // namespace chronos

@@ -154,6 +154,28 @@ TEST(AionGcTest, ShadowedStragglerDoesNotDisturbLaterReaders) {
   std::filesystem::remove_all(opt.spill_dir);
 }
 
+TEST(AionGcTest, ReplayedTidDoesNotPinTheWatermark) {
+  // A duplicate tid with fresh timestamps must not leave a phantom
+  // unfinalized view behind (which would clamp every future GC), but its
+  // writes must still land in the frontier for later honest readers.
+  HistoryBuilder b;
+  b.Txn(1, 0, 0, 10, 15).W(1, 1);
+  b.Txn(1, 0, 1, 30, 35).W(1, 2);  // same tid replayed
+  b.Txn(2, 1, 0, 40, 45).R(1, 2).W(1, 3);
+  History h = b.Build();
+  CountingSink sink;
+  Aion::Options opt;
+  opt.ext_timeout_ms = 1;
+  Aion aion(opt, &sink);
+  uint64_t now = 0;
+  for (const Transaction& t : h.txns) aion.OnTransaction(t, now += 10);
+  aion.AdvanceTime(1000);  // everything finalizes
+  EXPECT_EQ(sink.count(ViolationType::kExt), 0u)
+      << "the replay's write at ts 35 must justify the read of value 2";
+  EXPECT_EQ(aion.Gc(44), 44u)
+      << "watermark must advance past the replayed tid's views";
+}
+
 TEST(AionGcTest, GcToLiveTargetReducesFootprint) {
   History h = ChainHistory(20);
   CountingSink sink;
@@ -167,6 +189,62 @@ TEST(AionGcTest, GcToLiveTargetReducesFootprint) {
   aion.GcToLiveTarget(5);
   EXPECT_LE(aion.GetFootprint().live_txns, 5u);
   EXPECT_EQ(sink.total(), 0u);
+  std::filesystem::remove_all(opt.spill_dir);
+}
+
+TEST(AionGcTest, StragglerReloadAcrossMultipleSpilledEpochs) {
+  // Several GC passes spill several epochs; a straggler whose view falls
+  // below the final watermark must reload spilled state (spill_reloads
+  // increments) and produce the same verdict as an un-GC'd run.
+  History h = ChainHistory(12);  // writers at cts 15, 25, ..., 125
+  Transaction straggler;
+  {
+    HistoryBuilder sb;
+    // View 27 is justified by the second writer's ts-25 version (value 2),
+    // which the first GC pass evicts. Fresh session: ChainHistory uses
+    // sids 0-3.
+    sb.Txn(100, 4, 0, 27, 27).R(1, 2);
+    straggler = sb.Build().txns[0];
+  }
+
+  // Reference: no GC at all.
+  CountingSink ref;
+  {
+    Aion::Options opt;
+    opt.ext_timeout_ms = 1;
+    Aion aion(opt, &ref);
+    uint64_t now = 0;
+    for (const Transaction& t : h.txns) aion.OnTransaction(t, now += 10);
+    aion.AdvanceTime(1000);
+    aion.OnTransaction(straggler, 2000);
+    aion.Finish();
+  }
+  ASSERT_EQ(ref.count(ViolationType::kExt), 0u);
+
+  CountingSink sink;
+  Aion::Options opt;
+  opt.ext_timeout_ms = 1;
+  opt.spill_dir = TempSpillDir("gc_multi_epoch");
+  Aion aion(opt, &sink);
+  uint64_t now = 0;
+  size_t fed = 0;
+  for (const Transaction& t : h.txns) {
+    aion.OnTransaction(t, now += 10);
+    aion.AdvanceTime(now + 100);  // finalize everything so GC can move
+    if (++fed % 4 == 0) aion.Gc(t.commit_ts + 1);
+  }
+  EXPECT_GE(aion.stats().gc_passes, 2u) << "multiple epochs must be spilled";
+  ASSERT_GT(aion.watermark(), 27u) << "straggler must arrive below watermark";
+
+  uint64_t reloads_before = aion.stats().spill_reloads;
+  aion.OnTransaction(straggler, 2000);
+  aion.Finish();
+  EXPECT_GT(aion.stats().spill_reloads, reloads_before)
+      << "below-watermark view must hit the spill store";
+  EXPECT_EQ(sink.count(ViolationType::kExt), ref.count(ViolationType::kExt));
+  EXPECT_EQ(sink.count(ViolationType::kInt), ref.count(ViolationType::kInt));
+  EXPECT_EQ(sink.count(ViolationType::kNoConflict),
+            ref.count(ViolationType::kNoConflict));
   std::filesystem::remove_all(opt.spill_dir);
 }
 

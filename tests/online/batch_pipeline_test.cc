@@ -1,0 +1,218 @@
+// The batched collector->checker pipeline: PushBatch/PopBatch semantics
+// on the bounded queue (ordering, blocking, close) and RunThreaded's
+// equivalence with RunMaxRate on identical streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/chronos.h"
+#include "hist/collector.h"
+#include "online/pipeline.h"
+#include "online/queue.h"
+#include "workload/generator.h"
+
+namespace chronos::online {
+namespace {
+
+TEST(BoundedQueueBatchTest, PushBatchPopBatchRoundTrip) {
+  BoundedQueue<int> q(16);
+  EXPECT_TRUE(q.PushBatch({1, 2, 3, 4, 5}));
+  std::vector<int> out;
+  ASSERT_TRUE(q.PopBatch(&out, 3));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  ASSERT_TRUE(q.PopBatch(&out, 10));
+  EXPECT_EQ(out, (std::vector<int>{4, 5}));
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(BoundedQueueBatchTest, ZeroCapacityIsClampedNotDeadlocked) {
+  BoundedQueue<int> q(0);  // clamped to 1 internally
+  std::thread producer([&] {
+    EXPECT_TRUE(q.PushBatch({1, 2, 3}));
+    q.Close();
+  });
+  std::vector<int> all, chunk;
+  while (q.PopBatch(&chunk, 2)) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  producer.join();
+  EXPECT_EQ(all, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedQueueBatchTest, BatchLargerThanCapacitySpillsInChunks) {
+  BoundedQueue<int> q(4);
+  std::vector<int> big(64);
+  for (int i = 0; i < 64; ++i) big[i] = i;
+  std::thread producer([&] {
+    EXPECT_TRUE(q.PushBatch(std::move(big)));
+    q.Close();
+  });
+  std::vector<int> all, chunk;
+  while (q.PopBatch(&chunk, 7)) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  producer.join();
+  ASSERT_EQ(all.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(BoundedQueueBatchTest, MultiProducerBatchesStayContiguous) {
+  // Each producer's batches must land as contiguous runs (a batch is
+  // enqueued under one lock when it fits), and nothing may be lost.
+  constexpr int kProducers = 4;
+  constexpr int kBatches = 50;
+  constexpr int kBatchLen = 8;  // <= capacity: each batch fits atomically
+  BoundedQueue<int> q(32);
+  std::atomic<int> live{kProducers};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<int> batch(kBatchLen);
+        for (int j = 0; j < kBatchLen; ++j) {
+          batch[j] = p * 1000000 + b * 1000 + j;
+        }
+        ASSERT_TRUE(q.PushBatch(std::move(batch)));
+      }
+      if (live.fetch_sub(1) == 1) q.Close();
+    });
+  }
+  std::vector<int> all, chunk;
+  while (q.PopBatch(&chunk, 16)) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_EQ(all.size(),
+            static_cast<size_t>(kProducers * kBatches * kBatchLen));
+  // Per-producer order is preserved and each batch is contiguous.
+  for (size_t i = 0; i + 1 < all.size(); ++i) {
+    if (all[i] / 1000000 == all[i + 1] / 1000000) {
+      if (all[i] % kBatchLen != kBatchLen - 1) {
+        EXPECT_EQ(all[i + 1], all[i] + 1)
+            << "batch of producer " << all[i] / 1000000 << " interleaved";
+      }
+    }
+  }
+  std::vector<int> sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "no element may be duplicated";
+}
+
+TEST(BoundedQueueBatchTest, CloseWakesBlockedBatchProducer) {
+  BoundedQueue<int> q(2);
+  std::thread blocked_producer([&] {
+    // First chunk {1,2} fills the queue; the rest blocks until Close.
+    EXPECT_FALSE(q.PushBatch({1, 2, 3, 4, 5, 6, 7, 8}));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  blocked_producer.join();
+  std::vector<int> out;
+  ASSERT_TRUE(q.PopBatch(&out, 4)) << "items enqueued before close drain";
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(q.PopBatch(&out, 4)) << "then the queue reports closed";
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BoundedQueueBatchTest, CloseWakesBlockedBatchConsumer) {
+  BoundedQueue<int> q(2);
+  std::thread blocked_consumer([&] {
+    std::vector<int> out;
+    EXPECT_FALSE(q.PopBatch(&out, 4));
+    EXPECT_TRUE(out.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  blocked_consumer.join();
+}
+
+class BatchPipelineTest : public ::testing::Test {
+ protected:
+  std::vector<hist::CollectedTxn> MakeStream(uint64_t txns,
+                                             double stddev = 0) {
+    workload::WorkloadParams p;
+    p.sessions = 8;
+    p.txns = txns;
+    p.ops_per_txn = 6;
+    p.keys = 100;
+    History h = workload::GenerateDefaultHistory(p);
+    hist::CollectorParams cp;
+    cp.delay_mean_ms = stddev > 0 ? 50 : 0;
+    cp.delay_stddev_ms = stddev;
+    return hist::ScheduleDelivery(h, cp);
+  }
+};
+
+TEST_F(BatchPipelineTest, RunThreadedMatchesRunMaxRateOnCleanStream) {
+  auto stream = MakeStream(4000);
+  Aion::Options opt;
+  opt.ext_timeout_ms = 100;
+
+  CountingSink max_sink;
+  Aion max_checker(opt, &max_sink);
+  RunResult max_r = RunMaxRate(&max_checker, stream, GcPolicy::None(), 500);
+
+  CountingSink thr_sink;
+  Aion thr_checker(opt, &thr_sink);
+  RunResult thr_r =
+      RunThreaded(&thr_checker, stream, GcPolicy::None(), 500, 128);
+
+  EXPECT_EQ(thr_r.txns, max_r.txns);
+  EXPECT_EQ(thr_sink.total(), max_sink.total());
+  EXPECT_EQ(thr_checker.stats().txns_processed,
+            max_checker.stats().txns_processed);
+  EXPECT_EQ(thr_r.samples.size(), max_r.samples.size());
+}
+
+TEST_F(BatchPipelineTest, RunThreadedMatchesRunMaxRateOnDirtyStream) {
+  auto stream = MakeStream(3000, 30);
+  // Corrupt some reads so both drivers must report identical violations.
+  for (size_t i = 100; i < stream.size(); i += 500) {
+    for (Op& op : stream[i].txn.ops) {
+      if (op.type == OpType::kRead) {
+        op.value += 777;
+        break;
+      }
+    }
+  }
+  Aion::Options opt;
+  opt.ext_timeout_ms = 50;
+
+  CountingSink max_sink;
+  Aion max_checker(opt, &max_sink);
+  RunMaxRate(&max_checker, stream, GcPolicy::Threshold(1500, 500), 250);
+
+  CountingSink thr_sink;
+  Aion thr_checker(opt, &thr_sink);
+  RunThreaded(&thr_checker, stream, GcPolicy::Threshold(1500, 500), 250, 64);
+
+  ASSERT_GT(max_sink.total(), 0u) << "corruption must surface violations";
+  EXPECT_EQ(thr_sink.count(ViolationType::kExt),
+            max_sink.count(ViolationType::kExt));
+  EXPECT_EQ(thr_sink.count(ViolationType::kInt),
+            max_sink.count(ViolationType::kInt));
+  EXPECT_EQ(thr_sink.count(ViolationType::kNoConflict),
+            max_sink.count(ViolationType::kNoConflict));
+  EXPECT_EQ(thr_sink.total(), max_sink.total());
+  EXPECT_EQ(thr_checker.stats().txns_processed,
+            max_checker.stats().txns_processed);
+}
+
+TEST_F(BatchPipelineTest, RunThreadedReportsThroughputSeries) {
+  auto stream = MakeStream(2000);
+  CountingSink sink;
+  Aion::Options opt;
+  opt.ext_timeout_ms = 100;
+  Aion checker(opt, &sink);
+  RunResult r = RunThreaded(&checker, stream, GcPolicy::None(), 400);
+  EXPECT_EQ(r.txns, 2000u);
+  EXPECT_FALSE(r.samples.empty());
+  EXPECT_GT(r.AvgTps(), 0.0);
+}
+
+}  // namespace
+}  // namespace chronos::online

@@ -3,6 +3,7 @@
 //   chronos_check --in=h.hist [--level=si|ser|list]
 //                 [--online] [--timeout-ms=5000] [--spill=/tmp/aion]
 //                 [--delay-mean=0 --delay-stddev=0]   (online only)
+//                 [--threaded] [--batch=500]          (online only)
 //                 [--gc-every=0] [--max-report=20]
 //
 // Offline mode runs CHRONOS; --online replays the history through AION
@@ -97,10 +98,17 @@ int main(int argc, char** argv) {
     }
     Aion checker(opt, &sink);
     Stopwatch sw;
-    online::RunResult r = online::RunMaxRate(
-        &checker, stream, online::GcPolicy::None());
-    std::printf("online %s check: %.3fs (%.0f TPS), %llu flip-flops\n",
-                level.c_str(), sw.Seconds(), r.AvgTps(),
+    const bool threaded = HasFlag(argc, argv, "--threaded");
+    online::RunResult r =
+        threaded ? online::RunThreaded(&checker, stream,
+                                       online::GcPolicy::None(),
+                                       /*sample_every=*/10000,
+                                       U64Flag(argc, argv, "--batch", 500))
+                 : online::RunMaxRate(&checker, stream,
+                                      online::GcPolicy::None());
+    std::printf("online %s check (%s): %.3fs (%.0f TPS), %llu flip-flops\n",
+                level.c_str(), threaded ? "threaded" : "max-rate",
+                sw.Seconds(), r.AvgTps(),
                 static_cast<unsigned long long>(
                     checker.flip_stats().total_flips()));
   } else {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a bench smoke: configure, build everything, run the
+# full ctest suite, then a tiny bench_micro pass so a perf-path compile
+# or runtime regression cannot land silently. Run from the repo root.
+#
+# Usage: tools/ci.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Bench smoke: minimal runtime, just proves the binaries execute.
+if [[ -x "$BUILD_DIR/bench_micro" ]]; then
+  BENCH_MIN_TIME=0.01 \
+  BENCH_FILTER='BM_AionPerTxn/2000|BM_VersionedKvLookup/10000' \
+    bench/run_micro.sh "$BUILD_DIR" "$BUILD_DIR/BENCH_micro_smoke.json"
+else
+  echo "bench_micro not built (google-benchmark missing); skipping smoke"
+fi
+
+echo "ci.sh: OK"
