@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/baselines_test[1]_include.cmake")
+include("/root/repo/build/accounting_test[1]_include.cmake")
+include("/root/repo/build/aion_gc_test[1]_include.cmake")
+include("/root/repo/build/aion_test[1]_include.cmake")
+include("/root/repo/build/chronos_list_test[1]_include.cmake")
+include("/root/repo/build/chronos_test[1]_include.cmake")
+include("/root/repo/build/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/structures_test[1]_include.cmake")
+include("/root/repo/build/database_test[1]_include.cmake")
+include("/root/repo/build/hist_test[1]_include.cmake")
+include("/root/repo/build/property_test[1]_include.cmake")
+include("/root/repo/build/batch_pipeline_test[1]_include.cmake")
+include("/root/repo/build/online_test[1]_include.cmake")
+include("/root/repo/build/workload_test[1]_include.cmake")
