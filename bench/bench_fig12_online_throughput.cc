@@ -7,6 +7,7 @@
 #include "bench_util.h"
 #include "core/aion.h"
 #include "online/pipeline.h"
+#include "online/sharded_aion.h"
 #include "workload/apps.h"
 
 using namespace chronos;
@@ -22,15 +23,17 @@ std::vector<hist::CollectedTxn> Stream(const History& h) {
 
 void RunAionRow(const char* label, Aion::Mode mode,
                 const std::vector<hist::CollectedTxn>& stream,
-                online::GcPolicy gc, bool threaded = false) {
+                online::GcPolicy gc, bool threaded = false,
+                size_t shards = 1) {
   CountingSink sink;
   Aion::Options opt;
   opt.mode = mode;
   opt.ext_timeout_ms = 50;
-  Aion checker(opt, &sink);
-  online::RunResult r = threaded
-                            ? online::RunThreaded(&checker, stream, gc)
-                            : online::RunMaxRate(&checker, stream, gc);
+  std::unique_ptr<OnlineChecker> checker =
+      online::MakeChecker(opt, shards, &sink);
+  online::RunResult r =
+      threaded ? online::RunThreaded(checker.get(), stream, gc)
+               : online::RunMaxRate(checker.get(), stream, gc);
   std::printf("%24s  avg=%8.0f TPS  violations=%-6zu windows:", label,
               r.AvgTps(), static_cast<size_t>(sink.total()));
   for (size_t i = 0; i < r.tps_per_window.size() && i < 8; ++i) {
@@ -116,6 +119,14 @@ int main() {
                online::GcPolicy::HardCap(5000));
     RunAionRow("Aion-threaded-no-gc", Aion::Mode::kSi, stream,
                online::GcPolicy::None(), /*threaded=*/true);
+    // Key-partitioned checking (collector -> coordinator -> shards).
+    RunAionRow("Aion-sharded2-no-gc", Aion::Mode::kSi, stream,
+               online::GcPolicy::None(), /*threaded=*/true, /*shards=*/2);
+    RunAionRow("Aion-sharded4-no-gc", Aion::Mode::kSi, stream,
+               online::GcPolicy::None(), /*threaded=*/true, /*shards=*/4);
+    RunAionRow("Aion-sharded4-chk-gc", Aion::Mode::kSi, stream,
+               online::GcPolicy::Threshold(20000, 10000), /*threaded=*/true,
+               /*shards=*/4);
   }
 
   uint64_t app_txns = 20000 * scale;

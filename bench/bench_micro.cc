@@ -11,6 +11,7 @@
 #include "core/event_timeline.h"
 #include "core/interval_tree.h"
 #include "core/versioned_kv.h"
+#include "online/sharded_aion.h"
 #include "ref_map_kv.h"
 #include "workload/generator.h"
 
@@ -54,6 +55,32 @@ void BM_AionPerTxn(benchmark::State& state) {
                           static_cast<int64_t>(h.txns.size()));
 }
 BENCHMARK(BM_AionPerTxn)->Arg(2000)->Arg(10000);
+
+// The key-partitioned checker at the 10k-txn size of BM_AionPerTxn.
+// items/s vs BM_AionPerTxn/10000 is the sharding speedup (needs >= the
+// shard count in cores to show; on a 1-core runner the series measures
+// coordination overhead instead).
+void BM_ShardedAionPerTxn(benchmark::State& state) {
+  History h = MakeHistory(10000);
+  const size_t shards = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    CountingSink sink;
+    Aion::Options opt;
+    opt.ext_timeout_ms = 50;
+    online::ShardedAion aion(opt, shards, &sink);
+    uint64_t now = 0;
+    for (const Transaction& t : h.txns) aion.OnTransaction(t, ++now);
+    aion.Finish();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(h.txns.size()));
+}
+BENCHMARK(BM_ShardedAionPerTxn)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 void BM_IntervalTreeOverlap(benchmark::State& state) {
   IntervalTree tree;

@@ -15,7 +15,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_micro.json}"
-FILTER="${BENCH_FILTER:-BM_AionPerTxn|BM_ChronosPerTxn|BM_VersionedKv|BM_MapKv|BM_AionFootprint}"
+FILTER="${BENCH_FILTER:-BM_AionPerTxn|BM_ShardedAionPerTxn|BM_ChronosPerTxn|BM_VersionedKv|BM_MapKv|BM_AionFootprint}"
 MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 
 BIN="$BUILD_DIR/bench_micro"

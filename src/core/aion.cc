@@ -1,484 +1,56 @@
 #include "core/aion.h"
 
-#include <algorithm>
-
-#include "core/small_map.h"
-
 namespace chronos {
 namespace {
 
-constexpr size_t kEpochCacheCap = 4;
+KeyEngine::Options EngineOptions(const CheckerOptions& o) {
+  KeyEngine::Options eo;
+  eo.mode = o.mode;
+  eo.spill_dir = o.spill_dir;
+  return eo;
+}
 
 }  // namespace
 
 Aion::Aion(const Options& options, ViolationSink* sink)
-    : options_(options), sink_(sink), spill_(options.spill_dir) {}
+    : engine_(EngineOptions(options), &stats_, &flip_stats_,
+              [sink](Timestamp, const Violation& v) { sink->Report(v); }),
+      ingress_(options, &stats_,
+               [sink](Timestamp, const Violation& v) { sink->Report(v); },
+               this) {}
 
 Aion::~Aion() = default;
 
 void Aion::OnTransaction(const Transaction& t, uint64_t now_ms) {
-  last_now_ms_ = std::max(last_now_ms_, now_ms);
-  FireDeadlines(last_now_ms_);
-
-  const bool ser = options_.mode == Mode::kSer;
-
-  // Eq. (1) well-formedness (Algorithm 3 lines 4-5). SER ignores start
-  // timestamps entirely.
-  if (!ser && !t.TimestampsOrdered()) {
-    sink_->Report({ViolationType::kTsOrder, t.tid, kTxnNone, 0,
-                   static_cast<Value>(t.start_ts),
-                   static_cast<Value>(t.commit_ts)});
-    // INT does not depend on timestamps; still check it.
-    SmallMap<Key, Value> int_val;
-    for (const Op& op : t.ops) {
-      if (op.type == OpType::kRead) {
-        if (const Value* v = int_val.Find(op.key); v && *v != op.value) {
-          sink_->Report(
-              {ViolationType::kInt, t.tid, kTxnNone, op.key, *v, op.value});
-        }
-        int_val.Put(op.key, op.value);
-      } else if (op.type == OpType::kWrite) {
-        int_val.Put(op.key, op.value);
-      }
-    }
-    sessions_[t.sid].skipped_snos.insert(t.sno);
-    return;
-  }
-
-  // Duplicate timestamps across distinct transactions.
-  bool dup = false;
-  if (ser) {
-    dup = !used_ts_.insert(t.commit_ts).second;
-    if (!dup) used_ts_min_.push(t.commit_ts);
-  } else {
-    dup = used_ts_.count(t.start_ts) || used_ts_.count(t.commit_ts);
-    if (!dup) {
-      if (used_ts_.insert(t.start_ts).second) used_ts_min_.push(t.start_ts);
-      if (used_ts_.insert(t.commit_ts).second) used_ts_min_.push(t.commit_ts);
-    }
-  }
-  if (dup) {
-    sink_->Report({ViolationType::kTsDuplicate, t.tid});
-    sessions_[t.sid].skipped_snos.insert(t.sno);
-    return;
-  }
-
-  CheckSession(t);
-
-  TxnRec rec;
-  rec.tid = t.tid;
-  rec.commit_ts = t.commit_ts;
-  rec.view_ts = ser ? t.commit_ts : t.start_ts;
-
-  // Step 1: INT and (tentative) EXT for the new transaction.
-  std::vector<std::pair<Key, Value>> final_writes;
-  ReplayOps(t, &rec, last_now_ms_, &final_writes);
-
-  // Register the transaction before installing its versions so that
-  // Step-3 re-checking can find it (its own reads are never in the
-  // affected range: an SI read view precedes its own commit and SER
-  // readers see strictly earlier versions only).
-  auto [stored_it, inserted] = txns_.emplace(t.tid, std::move(rec));
-  TxnRec& stored = stored_it->second;
-  // A replayed tid keeps its original record and registrations: pushing
-  // its view on the heap again would outlive the single finalize
-  // tombstone and pin the GC watermark forever. Its writes below still
-  // go through Steps 2-3 like any other arrival.
-  if (inserted) {
-    if (commit_index_.empty() || t.commit_ts > commit_index_.back().first) {
-      commit_index_.emplace_back(t.commit_ts, t.tid);  // common: in order
-    } else {
-      auto pos = std::lower_bound(
-          commit_index_.begin(), commit_index_.end(), t.commit_ts,
-          [](const auto& p, Timestamp ts) { return p.first < ts; });
-      commit_index_.insert(pos, {t.commit_ts, t.tid});
-    }
-    view_heap_.push(stored.view_ts);
-    for (uint32_t i = 0; i < stored.ext_reads.size(); ++i) {
-      ReaderChain& chain = reader_index_[stored.ext_reads[i].key];
-      ReaderRef ref{stored.view_ts, t.tid, i};
-      if (chain.empty() || stored.view_ts > chain.back().view_ts) {
-        chain.push_back(ref);  // common: views arrive in near-ts order
-      } else {
-        auto pos = std::lower_bound(
-            chain.begin(), chain.end(), stored.view_ts,
-            [](const ReaderRef& r, Timestamp ts) { return r.view_ts < ts; });
-        chain.insert(pos, ref);
-      }
-    }
-    deadlines_.emplace_back(last_now_ms_ + options_.ext_timeout_ms, t.tid);
-  }
-
-  // Step 3 (per written key): install the version and re-check EXT for
-  // affected readers.
-  for (const auto& [key, value] : final_writes) {
-    InstallVersionAndRecheck(t, key, value, last_now_ms_);
-  }
-
-  // Step 2: NOCONFLICT against overlapping writers (SI only).
-  if (!ser && !final_writes.empty()) {
-    CheckNoConflict(t);
-    for (const auto& [key, value] : final_writes) {
-      (void)value;
-      ongoing_.Add(key, t.start_ts, t.commit_ts, t.tid);
-    }
-  }
-
-  ++stats_.txns_processed;
+  ingress_.OnTransaction(t, now_ms);
 }
 
-void Aion::CheckSession(const Transaction& t) {
-  SessionState& ss = sessions_[t.sid];
-  while (ss.skipped_snos.erase(static_cast<uint64_t>(ss.last_sno + 1)) > 0) {
-    ++ss.last_sno;
-  }
-  const bool ser = options_.mode == Mode::kSer;
-  // SI: the next transaction of a session must start after the previous
-  // one committed (strong session). SER: its commit must come later in
-  // commit order.
-  Timestamp order_ts = ser ? t.commit_ts : t.start_ts;
-  bool bad_order = ser ? order_ts <= ss.last_cts && ss.last_sno >= 0
-                       : order_ts < ss.last_cts;
-  if (static_cast<int64_t>(t.sno) != ss.last_sno + 1 || bad_order) {
-    sink_->Report({ViolationType::kSession, t.tid, kTxnNone, 0,
-                   static_cast<Value>(ss.last_sno + 1),
-                   static_cast<Value>(t.sno)});
-  }
-  ss.last_sno = static_cast<int64_t>(t.sno);
-  ss.last_cts = t.commit_ts;
+void Aion::AdvanceTime(uint64_t now_ms) { ingress_.AdvanceTime(now_ms); }
+
+Timestamp Aion::Gc(Timestamp up_to) { return ingress_.Gc(up_to); }
+
+void Aion::GcToLiveTarget(size_t target) { ingress_.GcToLiveTarget(target); }
+
+void Aion::Finish() { ingress_.Finish(); }
+
+void Aion::DispatchTxn(const KeyEngine::TxnCtx& ctx, ClassifiedOps&& ops,
+                       bool register_reads, uint64_t now_ms) {
+  engine_.ProcessTxn(ctx, ops.ext_reads.data(), ops.ext_reads.size(),
+                     ops.writes.data(), ops.writes.size(), register_reads,
+                     now_ms);
 }
 
-void Aion::ReplayOps(const Transaction& t, TxnRec* rec, uint64_t now_ms,
-                     std::vector<std::pair<Key, Value>>* final_writes) {
-  SmallMap<Key, Value> int_val;
-  SmallMap<Key, Value> ext_val;
-  for (const Op& op : t.ops) {
-    if (op.type == OpType::kRead) {
-      if (Value* iv = int_val.Find(op.key)) {
-        if (*iv != op.value) {
-          sink_->Report({ViolationType::kInt, t.tid, kTxnNone, op.key, *iv,
-                         op.value});
-        }
-        int_val.Put(op.key, op.value);
-      } else {
-        // External read: tentative EXT verdict against the current
-        // frontier at the read view (Algorithm 3 lines 13-15).
-        VersionedKv::Lookup cur = LookupFrontier(op.key, rec->view_ts);
-        ExtReadState er;
-        er.key = op.key;
-        er.observed = op.value;
-        er.satisfied = (cur.value == op.value);
-        er.last_change_ms = now_ms;
-        rec->ext_reads.push_back(er);
-        int_val.Put(op.key, op.value);
-      }
-    } else if (op.type == OpType::kWrite) {
-      int_val.Put(op.key, op.value);
-      if (!ext_val.Find(op.key)) {
-        final_writes->emplace_back(op.key, op.value);
-      }
-      ext_val.Put(op.key, op.value);
-    }
-  }
-  // final_writes must carry the *last* written value per key.
-  for (auto& [key, value] : *final_writes) value = *ext_val.Find(key);
-}
+void Aion::DispatchFinalize(TxnId tid) { engine_.FinalizeTxn(tid); }
 
-VersionedKv::Lookup Aion::LookupFrontier(Key key, Timestamp view) {
-  const bool inclusive = options_.mode == Mode::kSi;
-  VersionedKv::Lookup mem = inclusive ? versions_.GetAtOrBefore(key, view)
-                                      : versions_.GetBefore(key, view);
-  if (view >= watermark_ || watermark_ == kTsMin) return mem;
-  // The read view lies below the GC watermark: in-memory state may lack
-  // the intermediate versions; merge with the spill store.
-  if (!spill_.persistent()) {
-    ++stats_.unsafe_below_watermark;
-    return mem;
-  }
-  VersionedKv::Lookup spilled = LookupSpilled(key, view);
-  return spilled.ts > mem.ts || (mem.tid == kTxnNone && spilled.tid != kTxnNone)
-             ? spilled
-             : mem;
-}
-
-VersionedKv::Lookup Aion::LookupSpilled(Key key, Timestamp view) {
-  const bool inclusive = options_.mode == Mode::kSi;
-  VersionedKv::Lookup best;
-  for (uint64_t id : spill_epochs_) {
-    const SpillPayload* payload = nullptr;
-    for (auto& [cid, cp] : epoch_cache_) {
-      if (cid == id) {
-        payload = &cp;
-        break;
-      }
-    }
-    if (!payload) {
-      SpillPayload loaded;
-      if (!spill_.Load(id, &loaded)) continue;
-      ++stats_.spill_reloads;
-      if (epoch_cache_.size() >= kEpochCacheCap) {
-        epoch_cache_.erase(epoch_cache_.begin());
-      }
-      epoch_cache_.emplace_back(id, std::move(loaded));
-      payload = &epoch_cache_.back().second;
-    }
-    for (const auto& [k, ts, entry] : payload->versions) {
-      bool qualifies = inclusive ? ts <= view : ts < view;
-      if (k == key && qualifies && ts >= best.ts) {
-        best = VersionedKv::Lookup{entry.value, entry.tid, ts};
-      }
-    }
-  }
-  return best;
-}
-
-void Aion::InstallVersionAndRecheck(const Transaction& t, Key key, Value value,
-                                    uint64_t now_ms) {
-  const bool ser = options_.mode == Mode::kSer;
-  const Timestamp cts = t.commit_ts;
-
-  // If an in-memory version at or after cts but at or below the watermark
-  // exists, this writer is a straggler shadowed below the watermark: every
-  // affected reader is already finalized, so no re-check is needed
-  // (DESIGN.md Sec. 1.1). Evicted versions are all strictly older than the
-  // retained per-key base, so the in-memory NextVersionAfter bound is
-  // exact in the re-check path below.
-  VersionedKv::Lookup base = versions_.GetAtOrBefore(key, watermark_);
-  bool shadowed_below_watermark =
-      watermark_ != kTsMin && cts < watermark_ && base.ts >= cts;
-
-  std::optional<Timestamp> next = versions_.NextVersionAfter(key, cts);
-  if (!versions_.Put(key, cts, value, t.tid)) {
-    sink_->Report({ViolationType::kTsDuplicate, t.tid, kTxnNone, key});
-    return;
-  }
-  if (shadowed_below_watermark) return;
-
-  auto rit = reader_index_.find(key);
-  if (rit == reader_index_.end()) return;
-  const ReaderChain& readers = rit->second;
-
-  // Affected read views: SI sees versions with cts <= view, so the range
-  // is [cts, next); SER sees versions with cts < view, so it is (cts,
-  // next].
-  auto view_lt = [](const ReaderRef& r, Timestamp ts) {
-    return r.view_ts < ts;
-  };
-  auto view_gt = [](Timestamp ts, const ReaderRef& r) {
-    return ts < r.view_ts;
-  };
-  auto begin = ser ? std::upper_bound(readers.begin(), readers.end(), cts,
-                                      view_gt)
-                   : std::lower_bound(readers.begin(), readers.end(), cts,
-                                      view_lt);
-  for (auto it = begin; it != readers.end(); ++it) {
-    if (next) {
-      if (ser ? it->view_ts > *next : it->view_ts >= *next) break;
-    }
-    auto tit = txns_.find(it->tid);
-    if (tit == txns_.end()) continue;
-    TxnRec& reader = tit->second;
-    if (reader.finalized) continue;  // Algorithm 3 line 40
-    if (it->tid == t.tid) continue;
-    const TxnId rtid = it->tid;
-    ExtReadState& er = reader.ext_reads[it->read_idx];
-    bool now_satisfied = (er.observed == value);
-    ++stats_.ext_rechecks;
-    if (now_satisfied != er.satisfied) {
-      flip_stats_.RecordFlip(rtid, now_ms - er.last_change_ms);
-      ++er.flips;
-      er.satisfied = now_satisfied;
-      er.last_change_ms = now_ms;
-    }
-  }
-}
-
-void Aion::CheckNoConflict(const Transaction& t) {
-  // Collect this transaction's distinct written keys once.
-  SmallMap<Key, bool> seen;
-  for (const Op& op : t.ops) {
-    if (op.type != OpType::kWrite || seen.Find(op.key)) continue;
-    seen.Put(op.key, true);
-    ++stats_.noconflict_checks;
-    for (const WriteInterval& iv :
-         ongoing_.Overlapping(op.key, t.start_ts, t.commit_ts)) {
-      if (iv.tid == t.tid) continue;
-      // Attribute the conflict to the earlier committer (paper's
-      // deduplication rule).
-      TxnId first = iv.end < t.commit_ts ? iv.tid : t.tid;
-      TxnId second = first == iv.tid ? t.tid : iv.tid;
-      sink_->Report({ViolationType::kNoConflict, first, second, op.key});
-    }
-    // Straggler below the watermark: evicted intervals may also overlap.
-    if (watermark_ != kTsMin && t.start_ts < watermark_) {
-      if (!spill_.persistent()) {
-        ++stats_.unsafe_below_watermark;
-      } else {
-        for (uint64_t id : spill_epochs_) {
-          SpillPayload payload;
-          const SpillPayload* p = nullptr;
-          for (auto& [cid, cp] : epoch_cache_) {
-            if (cid == id) {
-              p = &cp;
-              break;
-            }
-          }
-          if (!p) {
-            if (!spill_.Load(id, &payload)) continue;
-            ++stats_.spill_reloads;
-            if (epoch_cache_.size() >= kEpochCacheCap) {
-              epoch_cache_.erase(epoch_cache_.begin());
-            }
-            epoch_cache_.emplace_back(id, std::move(payload));
-            p = &epoch_cache_.back().second;
-          }
-          for (const auto& [k, iv] : p->intervals) {
-            if (k != op.key || iv.tid == t.tid) continue;
-            if (iv.start <= t.commit_ts && iv.end >= t.start_ts) {
-              TxnId first = iv.end < t.commit_ts ? iv.tid : t.tid;
-              TxnId second = first == iv.tid ? t.tid : iv.tid;
-              sink_->Report(
-                  {ViolationType::kNoConflict, first, second, op.key});
-            }
-          }
-        }
-      }
-    }
-  }
-}
-
-void Aion::FinalizeTxn(TxnRec* rec) {
-  if (rec->finalized) return;
-  rec->finalized = true;
-  finalized_views_.insert(rec->view_ts);
-  for (const ExtReadState& er : rec->ext_reads) {
-    flip_stats_.RecordPairDone(er.flips);
-    if (!er.satisfied) {
-      VersionedKv::Lookup cur = LookupFrontier(er.key, rec->view_ts);
-      sink_->Report({ViolationType::kExt, rec->tid, cur.tid, er.key,
-                     cur.value, er.observed});
-    }
-  }
-}
-
-std::optional<Timestamp> Aion::OldestUnfinalizedView() {
-  while (!view_heap_.empty()) {
-    Timestamp v = view_heap_.top();
-    auto it = finalized_views_.find(v);
-    if (it == finalized_views_.end()) return v;
-    view_heap_.pop();
-    finalized_views_.erase(it);
-  }
-  return std::nullopt;
-}
-
-void Aion::FireDeadlines(uint64_t now_ms) {
-  while (!deadlines_.empty() && deadlines_.front().first <= now_ms) {
-    TxnId tid = deadlines_.front().second;
-    deadlines_.pop_front();
-    auto it = txns_.find(tid);
-    if (it != txns_.end()) FinalizeTxn(&it->second);
-  }
-}
-
-void Aion::AdvanceTime(uint64_t now_ms) {
-  last_now_ms_ = std::max(last_now_ms_, now_ms);
-  FireDeadlines(last_now_ms_);
-}
-
-void Aion::Finish() {
-  while (!deadlines_.empty()) {
-    TxnId tid = deadlines_.front().second;
-    deadlines_.pop_front();
-    auto it = txns_.find(tid);
-    if (it != txns_.end()) FinalizeTxn(&it->second);
-  }
-}
-
-Timestamp Aion::Gc(Timestamp up_to) {
-  // Clamp to the safe watermark: no unfinalized transaction's read view
-  // may fall at or below the eviction point, otherwise a future Step-3
-  // re-check could silently use an incomplete version bound.
-  Timestamp effective = up_to;
-  if (std::optional<Timestamp> oldest = OldestUnfinalizedView()) {
-    if (*oldest == kTsMin) return watermark_;
-    effective = std::min(effective, *oldest - 1);
-  }
-  if (effective <= watermark_) return watermark_;
-
-  ++stats_.gc_passes;
-  SpillPayload payload;
-  payload.max_ts = effective;
-  versions_.CollectUpTo(effective, &payload.versions);
-  ongoing_.CollectUpTo(effective, &payload.intervals);
-  uint64_t id = spill_.Spill(payload);
-  if (id != 0) spill_epochs_.push_back(id);
-
-  // Drop finalized transaction records committed at or below the line.
-  // Reader refs are batch-compacted per key afterwards: erasing each ref
-  // individually would make a pass over a hot key's chain quadratic.
-  std::unordered_map<Key, std::vector<Timestamp>> dropped_views;
-  auto line_end = std::upper_bound(
-      commit_index_.begin(), commit_index_.end(), effective,
-      [](Timestamp ts, const auto& p) { return ts < p.first; });
-  auto keep = std::remove_if(
-      commit_index_.begin(), line_end, [&](const std::pair<Timestamp, TxnId>& p) {
-        auto tit = txns_.find(p.second);
-        if (tit == txns_.end() || !tit->second.finalized) return false;
-        for (const ExtReadState& er : tit->second.ext_reads) {
-          dropped_views[er.key].push_back(tit->second.view_ts);
-        }
-        txns_.erase(tit);
-        return true;
-      });
-  commit_index_.erase(keep, line_end);
-  for (auto& [key, views] : dropped_views) {
-    auto rit = reader_index_.find(key);
-    if (rit == reader_index_.end()) continue;
-    std::sort(views.begin(), views.end());
-    ReaderChain& chain = rit->second;
-    chain.erase(std::remove_if(chain.begin(), chain.end(),
-                               [&](const ReaderRef& r) {
-                                 return std::binary_search(
-                                     views.begin(), views.end(), r.view_ts);
-                               }),
-                chain.end());
-    if (chain.empty()) reader_index_.erase(rit);
-  }
-  // Timestamp-uniqueness bookkeeping below the line is no longer needed;
-  // duplicates of recycled timestamps would be stragglers anyway.
-  while (!used_ts_min_.empty() && used_ts_min_.top() <= effective) {
-    used_ts_.erase(used_ts_min_.top());
-    used_ts_min_.pop();
-  }
-
-  watermark_ = effective;
-  return watermark_;
-}
-
-void Aion::GcToLiveTarget(size_t target) {
-  if (txns_.size() <= target) return;
-  // Fast reject: if the oldest unfinalized view already pins the
-  // watermark, no amount of scanning will free anything (asynchrony
-  // preventing recycling, Sec. III-C2 challenge 3).
-  if (std::optional<Timestamp> oldest = OldestUnfinalizedView()) {
-    if (*oldest == kTsMin || *oldest - 1 <= watermark_) return;
-  }
-  size_t excess = txns_.size() - target;
-  Timestamp line = kTsMin;
-  if (excess > 0 && !commit_index_.empty()) {
-    line = commit_index_[std::min(excess, commit_index_.size()) - 1].first;
-  }
-  if (line != kTsMin) Gc(line);
-}
+void Aion::DispatchGc(Timestamp watermark) { engine_.CollectUpTo(watermark); }
 
 Aion::Footprint Aion::GetFootprint() const {
   Footprint f;
-  f.live_txns = txns_.size();
-  f.versions = versions_.TotalVersions();
-  f.intervals = ongoing_.TotalIntervals();
-  f.approx_bytes = versions_.ApproxBytes() + f.live_txns * 160 +
-                   f.intervals * 64 + used_ts_.size() * 48;
+  f.live_txns = ingress_.live_txns();
+  f.versions = engine_.TotalVersions();
+  f.intervals = engine_.TotalIntervals();
+  f.approx_bytes = engine_.ApproxBytes() + f.live_txns * 160 +
+                   f.intervals * 64 + ingress_.used_ts_count() * 48;
   return f;
 }
 

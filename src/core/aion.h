@@ -15,185 +15,79 @@
 // Garbage collection moves versions and write intervals below a safe
 // watermark to a disk spill store and reloads them when a straggler
 // arrives below the watermark (Algorithm 3 lines 62-66).
+//
+// Structurally, Aion is the transaction-scoped `TxnIngress`
+// (core/txn_ingress.h) driving a single key-scoped `KeyEngine`
+// (core/key_engine.h) inline. The key-partitioned `ShardedAion`
+// (online/sharded_aion.h) drives N engines on worker threads through
+// the same ingress and is verdict-identical to this monolith.
 #ifndef CHRONOS_CORE_AION_H_
 #define CHRONOS_CORE_AION_H_
 
-#include <cstdint>
-#include <deque>
-#include <memory>
-#include <optional>
-#include <queue>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
-#include <vector>
 
 #include "core/flipflop_stats.h"
-#include "core/interval_tree.h"
-#include "core/spill.h"
+#include "core/key_engine.h"
+#include "core/online_checker.h"
+#include "core/txn_ingress.h"
 #include "core/types.h"
-#include "core/versioned_kv.h"
 #include "core/violation.h"
 
 namespace chronos {
 
 /// Online checker for SI (default) or SER histories.
-class Aion {
+class Aion : public OnlineChecker, private TxnIngress::Dispatch {
  public:
-  /// Which isolation level to check. SER ignores start timestamps, uses
-  /// the commit timestamp as the read view, and skips NOCONFLICT
-  /// (paper Sec. VI-A).
-  enum class Mode { kSi, kSer };
-
-  struct Options {
-    Mode mode = Mode::kSi;
-    /// EXT verdicts become final this long after the transaction arrives
-    /// (the paper conservatively uses 5000 ms). Time is whatever unit the
-    /// caller passes to OnTransaction/AdvanceTime; tests use virtual ms.
-    uint64_t ext_timeout_ms = 5000;
-    /// Directory for the GC spill store. Empty disables persistence: GC
-    /// then discards evicted state, which is only safe when no arrival
-    /// ever dips below the GC watermark (fast mode for throughput
-    /// benches; stragglers below the watermark are counted in
-    /// Stats::unsafe_below_watermark instead of being re-checked).
-    std::string spill_dir;
-  };
-
-  /// Aggregate processing counters.
-  struct Stats {
-    uint64_t txns_processed = 0;
-    uint64_t ext_rechecks = 0;          ///< Step-3 reader re-evaluations
-    uint64_t noconflict_checks = 0;     ///< Step-2 overlap queries
-    uint64_t spill_reloads = 0;         ///< epochs loaded back from disk
-    uint64_t unsafe_below_watermark = 0;///< stragglers GC made unverifiable
-    uint64_t gc_passes = 0;
-  };
-
-  /// Live memory footprint, used by the Fig. 12/16 benches.
-  struct Footprint {
-    size_t live_txns = 0;
-    size_t versions = 0;
-    size_t intervals = 0;
-    size_t approx_bytes = 0;
-  };
+  using Mode = CheckMode;
+  using Options = CheckerOptions;
+  using Stats = CheckerStats;
+  using Footprint = CheckerFootprint;
 
   Aion(const Options& options, ViolationSink* sink);
-  ~Aion();
+  ~Aion() override;
 
   Aion(const Aion&) = delete;
   Aion& operator=(const Aion&) = delete;
 
   /// Feeds one collected transaction. `now_ms` is the arrival time on the
   /// checker's clock; it must be non-decreasing across calls.
-  void OnTransaction(const Transaction& t, uint64_t now_ms);
+  void OnTransaction(const Transaction& t, uint64_t now_ms) override;
 
   /// Fires all EXT timeouts with deadline <= now_ms, finalizing and
   /// reporting their verdicts.
-  void AdvanceTime(uint64_t now_ms);
+  void AdvanceTime(uint64_t now_ms) override;
 
   /// Garbage-collects versions, write intervals and transaction records
   /// at or below `up_to` (clamped to the safe watermark: nothing an
   /// unfinalized transaction might still need is evicted). Evicted state
   /// goes to the spill store. Returns the effective watermark used.
-  Timestamp Gc(Timestamp up_to);
+  Timestamp Gc(Timestamp up_to) override;
 
   /// Convenience: GC so that at most `target` transaction records stay
   /// resident (the paper's "maximum transaction limit" strategy).
-  void GcToLiveTarget(size_t target);
+  void GcToLiveTarget(size_t target) override;
 
   /// Finalizes every outstanding transaction (end of stream).
-  void Finish();
+  void Finish() override;
 
   const Stats& stats() const { return stats_; }
   const FlipFlopStats& flip_stats() const { return flip_stats_; }
-  Footprint GetFootprint() const;
+  Footprint GetFootprint() const override;
   /// Current GC watermark (kTsMin if GC never ran).
-  Timestamp watermark() const { return watermark_; }
+  Timestamp watermark() const { return ingress_.watermark(); }
 
  private:
-  struct ExtReadState {
-    Key key = 0;
-    Value observed = kValueBottom;
-    bool satisfied = true;
-    uint32_t flips = 0;
-    uint64_t last_change_ms = 0;
-  };
+  // TxnIngress::Dispatch: the monolith executes key-scoped work inline.
+  void DispatchTxn(const KeyEngine::TxnCtx& ctx, ClassifiedOps&& ops,
+                   bool register_reads, uint64_t now_ms) override;
+  void DispatchFinalize(TxnId tid) override;
+  void DispatchGc(Timestamp watermark) override;
 
-  struct TxnRec {
-    TxnId tid = 0;
-    Timestamp view_ts = 0;    // start_ts (SI) or commit_ts (SER)
-    Timestamp commit_ts = 0;
-    std::vector<ExtReadState> ext_reads;
-    bool finalized = false;
-  };
-
-  struct SessionState {
-    int64_t last_sno = -1;
-    Timestamp last_cts = kTsMin;
-    std::unordered_set<uint64_t> skipped_snos;
-  };
-
-  // One external-read registration: txn `tid` read `key` at `view_ts`,
-  // stored as ext_reads[read_idx]. Chains are flat vectors sorted by
-  // view_ts (append-mostly: views arrive in near-timestamp order). At
-  // most one external read per (txn, key), and view timestamps are
-  // unique per transaction.
-  struct ReaderRef {
-    Timestamp view_ts = kTsMin;
-    TxnId tid = kTxnNone;
-    uint32_t read_idx = 0;
-  };
-  using ReaderChain = std::vector<ReaderRef>;
-
-  // Frontier lookup honoring the GC watermark: below it, consults the
-  // spill store (latest version of `key` at or before `view`).
-  VersionedKv::Lookup LookupFrontier(Key key, Timestamp view);
-  VersionedKv::Lookup LookupSpilled(Key key, Timestamp view);
-
-  void CheckSession(const Transaction& t);
-  void ReplayOps(const Transaction& t, TxnRec* rec, uint64_t now_ms,
-                 std::vector<std::pair<Key, Value>>* final_writes);
-  void InstallVersionAndRecheck(const Transaction& t, Key key, Value value,
-                                uint64_t now_ms);
-  void CheckNoConflict(const Transaction& t);
-  void FinalizeTxn(TxnRec* rec);
-  void FireDeadlines(uint64_t now_ms);
-  // Oldest view among unfinalized transactions (lazily drops finalized
-  // views off the heap top). nullopt when everything is finalized.
-  std::optional<Timestamp> OldestUnfinalizedView();
-
-  Options options_;
-  ViolationSink* sink_;
   Stats stats_;
   FlipFlopStats flip_stats_;
-
-  VersionedKv versions_;
-  OngoingIndex ongoing_;
-  SpillStore spill_;
-  std::vector<uint64_t> spill_epochs_;  // ids, in spill order
-  // Tiny cache of reloaded epochs (stragglers cluster in time).
-  mutable std::vector<std::pair<uint64_t, SpillPayload>> epoch_cache_;
-
-  std::unordered_map<TxnId, TxnRec> txns_;
-  // (cts, tid) of live txns, sorted by cts (append-mostly flat map).
-  std::vector<std::pair<Timestamp, TxnId>> commit_index_;
-  // Unfinalized read views: min-heap plus a lazy tombstone set.
-  std::priority_queue<Timestamp, std::vector<Timestamp>, std::greater<>>
-      view_heap_;
-  std::unordered_set<Timestamp> finalized_views_;
-  // Timestamp-uniqueness tracking: O(1) membership plus a min-heap so GC
-  // can drop everything below the watermark in O(dropped log n).
-  std::unordered_set<Timestamp> used_ts_;
-  std::priority_queue<Timestamp, std::vector<Timestamp>, std::greater<>>
-      used_ts_min_;
-  std::unordered_map<SessionId, SessionState> sessions_;
-  std::unordered_map<Key, ReaderChain> reader_index_;
-  // (deadline, tid) FIFO for EXT timeouts: arrival time is non-decreasing
-  // and the timeout is constant, so deadlines are already sorted.
-  std::deque<std::pair<uint64_t, TxnId>> deadlines_;
-  Timestamp watermark_ = kTsMin;
-  uint64_t last_now_ms_ = 0;
+  KeyEngine engine_;
+  TxnIngress ingress_;
 };
 
 /// AION-SER: the online serializability checker (paper Sec. VI). Same

@@ -12,7 +12,8 @@
 
 namespace chronos {
 
-/// Aggregated flip-flop statistics. Single-threaded (owned by Aion).
+/// Aggregated flip-flop statistics. Single-threaded: owned by the
+/// monolithic Aion, or one per shard (merged on read) when sharded.
 class FlipFlopStats {
  public:
   /// Rectification latency buckets in milliseconds, matching the paper's
@@ -57,6 +58,25 @@ class FlipFlopStats {
   uint64_t txns_with_flips() const { return flips_per_txn_.size(); }
   /// Total flips across all (txn, key) pairs.
   uint64_t total_flips() const { return flips_per_txnkey_total_; }
+
+  /// Folds another instance in (sharded checking: one instance per key
+  /// shard). Commutative and associative: the pair/latency histograms
+  /// and the total are plain sums, and the per-txn flip counts are
+  /// summed per tid before `txn_flip_histogram()` buckets them — a
+  /// transaction's flips on keys of different shards therefore bucket
+  /// exactly as they would in a single instance.
+  void Merge(const FlipFlopStats& o) {
+    flips_per_txnkey_total_ += o.flips_per_txnkey_total_;
+    for (const auto& [tid, flips] : o.flips_per_txn_) {
+      flips_per_txn_[tid] += flips;
+    }
+    for (size_t i = 0; i < pair_flip_hist_.size(); ++i) {
+      pair_flip_hist_[i] += o.pair_flip_hist_[i];
+    }
+    for (size_t i = 0; i < latency_hist_.size(); ++i) {
+      latency_hist_[i] += o.latency_hist_[i];
+    }
+  }
 
   static const char* LatencyBucketName(size_t i) {
     static const char* kNames[kNumLatencyBuckets] = {"0-1",   "1-2",

@@ -1,0 +1,301 @@
+#include "core/key_engine.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace chronos {
+namespace {
+
+constexpr size_t kEpochCacheCap = 4;
+
+}  // namespace
+
+KeyEngine::KeyEngine(const Options& options, CheckerStats* stats,
+                     FlipFlopStats* flips, ReportFn report)
+    : options_(options),
+      stats_(stats),
+      flip_stats_(flips),
+      report_(std::move(report)),
+      spill_(options.spill_dir) {}
+
+void KeyEngine::ProcessTxn(const TxnCtx& ctx, const ExtReadReq* reads,
+                           size_t num_reads, const WriteReq* writes,
+                           size_t num_writes, bool register_reads,
+                           uint64_t now_ms) {
+  const bool ser = options_.mode == CheckMode::kSer;
+
+  // Step 1 (per-key half): tentative EXT verdict against the current
+  // frontier at the read view (Algorithm 3 lines 13-15). A replayed tid
+  // keeps its original record and registrations (register_reads false):
+  // its reads are ignored — re-evaluating them could only feed a record
+  // that does not exist — but its writes below still go through Steps
+  // 2-3 like any other arrival.
+  LocalTxn* rec = nullptr;
+  if (register_reads && num_reads > 0) {
+    rec = &local_txns_[ctx.tid];
+    rec->view_ts = ctx.view_ts;
+    rec->commit_ts = ctx.commit_ts;
+    rec->ext_reads.reserve(num_reads);
+    for (size_t i = 0; i < num_reads; ++i) {
+      VersionedKv::Lookup cur = LookupFrontier(reads[i].key, ctx.view_ts);
+      ExtReadState er;
+      er.key = reads[i].key;
+      er.observed = reads[i].observed;
+      er.satisfied = (cur.value == reads[i].observed);
+      er.last_change_ms = now_ms;
+      rec->ext_reads.push_back(er);
+    }
+  }
+
+  // Register the reads before installing this transaction's versions so
+  // that Step-3 re-checking can find them (its own reads are never in
+  // the affected range: an SI read view precedes its own commit and SER
+  // readers see strictly earlier versions only).
+  if (rec) {
+    if (commit_index_.empty() || ctx.commit_ts > commit_index_.back().first) {
+      commit_index_.emplace_back(ctx.commit_ts, ctx.tid);
+    } else {
+      auto pos = std::lower_bound(
+          commit_index_.begin(), commit_index_.end(), ctx.commit_ts,
+          [](const auto& p, Timestamp ts) { return p.first < ts; });
+      commit_index_.insert(pos, {ctx.commit_ts, ctx.tid});
+    }
+    for (uint32_t i = 0; i < rec->ext_reads.size(); ++i) {
+      ReaderChain& chain = reader_index_[rec->ext_reads[i].key];
+      ReaderRef ref{ctx.view_ts, ctx.tid, i};
+      if (chain.empty() || ctx.view_ts > chain.back().view_ts) {
+        chain.push_back(ref);  // common: views arrive in near-ts order
+      } else {
+        auto pos = std::lower_bound(
+            chain.begin(), chain.end(), ctx.view_ts,
+            [](const ReaderRef& r, Timestamp ts) { return r.view_ts < ts; });
+        chain.insert(pos, ref);
+      }
+    }
+  }
+
+  // Step 3 (per written key): install the version and re-check EXT for
+  // affected readers.
+  for (size_t i = 0; i < num_writes; ++i) {
+    InstallVersionAndRecheck(ctx, writes[i].key, writes[i].value, now_ms);
+  }
+
+  // Step 2: NOCONFLICT against overlapping writers (SI only).
+  if (!ser && num_writes > 0) {
+    CheckNoConflict(ctx, writes, num_writes);
+    for (size_t i = 0; i < num_writes; ++i) {
+      ongoing_.Add(writes[i].key, ctx.start_ts, ctx.commit_ts, ctx.tid);
+    }
+  }
+}
+
+VersionedKv::Lookup KeyEngine::LookupFrontier(Key key, Timestamp view) {
+  const bool inclusive = options_.mode == CheckMode::kSi;
+  VersionedKv::Lookup mem = inclusive ? versions_.GetAtOrBefore(key, view)
+                                      : versions_.GetBefore(key, view);
+  if (view >= watermark_ || watermark_ == kTsMin) return mem;
+  // The read view lies below the GC watermark: in-memory state may lack
+  // the intermediate versions; merge with the spill store.
+  if (!spill_.persistent()) {
+    ++stats_->unsafe_below_watermark;
+    return mem;
+  }
+  VersionedKv::Lookup spilled = LookupSpilled(key, view);
+  return spilled.ts > mem.ts || (mem.tid == kTxnNone && spilled.tid != kTxnNone)
+             ? spilled
+             : mem;
+}
+
+const SpillPayload* KeyEngine::LoadEpoch(uint64_t id, SpillPayload* scratch) {
+  for (auto& [cid, cp] : epoch_cache_) {
+    if (cid == id) return &cp;
+  }
+  if (!spill_.Load(id, scratch)) return nullptr;
+  ++stats_->spill_reloads;
+  if (epoch_cache_.size() >= kEpochCacheCap) {
+    epoch_cache_.erase(epoch_cache_.begin());
+  }
+  epoch_cache_.emplace_back(id, std::move(*scratch));
+  return &epoch_cache_.back().second;
+}
+
+VersionedKv::Lookup KeyEngine::LookupSpilled(Key key, Timestamp view) {
+  const bool inclusive = options_.mode == CheckMode::kSi;
+  VersionedKv::Lookup best;
+  for (uint64_t id : spill_epochs_) {
+    SpillPayload scratch;
+    const SpillPayload* payload = LoadEpoch(id, &scratch);
+    if (!payload) continue;
+    for (const auto& [k, ts, entry] : payload->versions) {
+      bool qualifies = inclusive ? ts <= view : ts < view;
+      if (k == key && qualifies && ts >= best.ts) {
+        best = VersionedKv::Lookup{entry.value, entry.tid, ts};
+      }
+    }
+  }
+  return best;
+}
+
+void KeyEngine::InstallVersionAndRecheck(const TxnCtx& ctx, Key key,
+                                         Value value, uint64_t now_ms) {
+  const bool ser = options_.mode == CheckMode::kSer;
+  const Timestamp cts = ctx.commit_ts;
+
+  // If an in-memory version at or after cts but at or below the watermark
+  // exists, this writer is a straggler shadowed below the watermark: every
+  // affected reader is already finalized, so no re-check is needed
+  // (DESIGN.md Sec. 1.1). Evicted versions are all strictly older than the
+  // retained per-key base, so the in-memory NextVersionAfter bound is
+  // exact in the re-check path below.
+  VersionedKv::Lookup base = versions_.GetAtOrBefore(key, watermark_);
+  bool shadowed_below_watermark =
+      watermark_ != kTsMin && cts < watermark_ && base.ts >= cts;
+
+  std::optional<Timestamp> next = versions_.NextVersionAfter(key, cts);
+  if (!versions_.Put(key, cts, value, ctx.tid)) {
+    report_(cts, {ViolationType::kTsDuplicate, ctx.tid, kTxnNone, key});
+    return;
+  }
+  if (shadowed_below_watermark) return;
+
+  auto rit = reader_index_.find(key);
+  if (rit == reader_index_.end()) return;
+  const ReaderChain& readers = rit->second;
+
+  // Affected read views: SI sees versions with cts <= view, so the range
+  // is [cts, next); SER sees versions with cts < view, so it is (cts,
+  // next].
+  auto view_lt = [](const ReaderRef& r, Timestamp ts) {
+    return r.view_ts < ts;
+  };
+  auto view_gt = [](Timestamp ts, const ReaderRef& r) {
+    return ts < r.view_ts;
+  };
+  auto begin = ser ? std::upper_bound(readers.begin(), readers.end(), cts,
+                                      view_gt)
+                   : std::lower_bound(readers.begin(), readers.end(), cts,
+                                      view_lt);
+  for (auto it = begin; it != readers.end(); ++it) {
+    if (next) {
+      if (ser ? it->view_ts > *next : it->view_ts >= *next) break;
+    }
+    auto tit = local_txns_.find(it->tid);
+    if (tit == local_txns_.end()) continue;
+    LocalTxn& reader = tit->second;
+    if (reader.finalized) continue;  // Algorithm 3 line 40
+    if (it->tid == ctx.tid) continue;
+    const TxnId rtid = it->tid;
+    ExtReadState& er = reader.ext_reads[it->read_idx];
+    bool now_satisfied = (er.observed == value);
+    ++stats_->ext_rechecks;
+    if (now_satisfied != er.satisfied) {
+      flip_stats_->RecordFlip(rtid, now_ms - er.last_change_ms);
+      ++er.flips;
+      er.satisfied = now_satisfied;
+      er.last_change_ms = now_ms;
+    }
+  }
+}
+
+void KeyEngine::CheckNoConflict(const TxnCtx& ctx, const WriteReq* writes,
+                                size_t num_writes) {
+  // `writes` already carries each written key once, in first-write op
+  // order (the ingress deduplicated).
+  for (size_t i = 0; i < num_writes; ++i) {
+    const Key key = writes[i].key;
+    ++stats_->noconflict_checks;
+    for (const WriteInterval& iv :
+         ongoing_.Overlapping(key, ctx.start_ts, ctx.commit_ts)) {
+      if (iv.tid == ctx.tid) continue;
+      // Attribute the conflict to the earlier committer (paper's
+      // deduplication rule).
+      TxnId first = iv.end < ctx.commit_ts ? iv.tid : ctx.tid;
+      TxnId second = first == iv.tid ? ctx.tid : iv.tid;
+      report_(std::min(iv.end, ctx.commit_ts),
+              {ViolationType::kNoConflict, first, second, key});
+    }
+    // Straggler below the watermark: evicted intervals may also overlap.
+    if (watermark_ != kTsMin && ctx.start_ts < watermark_) {
+      if (!spill_.persistent()) {
+        ++stats_->unsafe_below_watermark;
+      } else {
+        for (uint64_t id : spill_epochs_) {
+          SpillPayload scratch;
+          const SpillPayload* p = LoadEpoch(id, &scratch);
+          if (!p) continue;
+          for (const auto& [k, iv] : p->intervals) {
+            if (k != key || iv.tid == ctx.tid) continue;
+            if (iv.start <= ctx.commit_ts && iv.end >= ctx.start_ts) {
+              TxnId first = iv.end < ctx.commit_ts ? iv.tid : ctx.tid;
+              TxnId second = first == iv.tid ? ctx.tid : iv.tid;
+              report_(std::min(iv.end, ctx.commit_ts),
+                      {ViolationType::kNoConflict, first, second, key});
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void KeyEngine::FinalizeTxn(TxnId tid) {
+  auto it = local_txns_.find(tid);
+  if (it == local_txns_.end()) return;
+  LocalTxn& rec = it->second;
+  if (rec.finalized) return;
+  rec.finalized = true;
+  for (const ExtReadState& er : rec.ext_reads) {
+    flip_stats_->RecordPairDone(er.flips);
+    if (!er.satisfied) {
+      VersionedKv::Lookup cur = LookupFrontier(er.key, rec.view_ts);
+      report_(rec.commit_ts, {ViolationType::kExt, tid, cur.tid, er.key,
+                              cur.value, er.observed});
+    }
+  }
+}
+
+void KeyEngine::CollectUpTo(Timestamp watermark) {
+  SpillPayload payload;
+  payload.max_ts = watermark;
+  versions_.CollectUpTo(watermark, &payload.versions);
+  ongoing_.CollectUpTo(watermark, &payload.intervals);
+  uint64_t id = spill_.Spill(payload);
+  if (id != 0) spill_epochs_.push_back(id);
+
+  // Drop finalized transaction records committed at or below the line.
+  // Reader refs are batch-compacted per key afterwards: erasing each ref
+  // individually would make a pass over a hot key's chain quadratic.
+  std::unordered_map<Key, std::vector<Timestamp>> dropped_views;
+  auto line_end = std::upper_bound(
+      commit_index_.begin(), commit_index_.end(), watermark,
+      [](Timestamp ts, const auto& p) { return ts < p.first; });
+  auto keep = std::remove_if(
+      commit_index_.begin(), line_end,
+      [&](const std::pair<Timestamp, TxnId>& p) {
+        auto tit = local_txns_.find(p.second);
+        if (tit == local_txns_.end() || !tit->second.finalized) return false;
+        for (const ExtReadState& er : tit->second.ext_reads) {
+          dropped_views[er.key].push_back(tit->second.view_ts);
+        }
+        local_txns_.erase(tit);
+        return true;
+      });
+  commit_index_.erase(keep, line_end);
+  for (auto& [key, views] : dropped_views) {
+    auto rit = reader_index_.find(key);
+    if (rit == reader_index_.end()) continue;
+    std::sort(views.begin(), views.end());
+    ReaderChain& chain = rit->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const ReaderRef& r) {
+                                 return std::binary_search(
+                                     views.begin(), views.end(), r.view_ts);
+                               }),
+                chain.end());
+    if (chain.empty()) reader_index_.erase(rit);
+  }
+
+  watermark_ = std::max(watermark_, watermark);
+}
+
+}  // namespace chronos

@@ -1,0 +1,171 @@
+// The key-scoped half of AION (paper Algorithm 3): version chains, write
+// intervals, per-key tentative-EXT bookkeeping, the Step-2 NOCONFLICT and
+// Step-3 EXT re-checks, and the GC spill path. Everything in here is
+// keyed by Key and only ever consults state of the keys it is handed, so
+// a checker may run one engine (the monolithic `Aion`) or N key-disjoint
+// engines (`ShardedAion`, keys partitioned by hash) with identical
+// results: the engine never reaches across keys.
+//
+// The transaction-scoped half (SESSION/INT checks, timestamp
+// uniqueness, the EXT timeout clock, and the GC watermark decision)
+// lives in core/txn_ingress.h; the ingress drives the engine through
+// ProcessTxn/FinalizeTxn/CollectUpTo in a single well-defined order.
+// A KeyEngine instance is single-threaded: exactly one thread (its
+// owner) may call into it.
+#ifndef CHRONOS_CORE_KEY_ENGINE_H_
+#define CHRONOS_CORE_KEY_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/flipflop_stats.h"
+#include "core/interval_tree.h"
+#include "core/online_checker.h"
+#include "core/spill.h"
+#include "core/types.h"
+#include "core/versioned_kv.h"
+#include "core/violation.h"
+
+namespace chronos {
+
+class KeyEngine {
+ public:
+  struct Options {
+    CheckMode mode = CheckMode::kSi;
+    std::string spill_dir;  ///< empty disables spill persistence
+  };
+
+  /// The transaction-scoped facts a per-key step needs.
+  struct TxnCtx {
+    TxnId tid = 0;
+    Timestamp view_ts = 0;  ///< start_ts (SI) or commit_ts (SER)
+    Timestamp commit_ts = 0;
+    Timestamp start_ts = 0;
+  };
+
+  /// One external read of the transaction being processed (op order).
+  struct ExtReadReq {
+    Key key = 0;
+    Value observed = kValueBottom;
+  };
+
+  /// One final write of the transaction (distinct keys, first-write op
+  /// order, carrying the last written value per key).
+  struct WriteReq {
+    Key key = 0;
+    Value value = kValueInit;
+  };
+
+  /// Violation reporting with a deterministic ordering tag: `order_ts`
+  /// is the commit timestamp of the transaction the violation is
+  /// attributed to, so a coordinator can merge-sort reports from
+  /// several engines into one stable stream. The monolith forwards to
+  /// its sink directly and ignores the tag.
+  using ReportFn = std::function<void(Timestamp order_ts, const Violation&)>;
+
+  /// `stats` and `flips` are owned by the caller and must outlive the
+  /// engine; the monolith shares its own structs, a sharded checker
+  /// hands each engine private ones and merges on read.
+  KeyEngine(const Options& options, CheckerStats* stats, FlipFlopStats* flips,
+            ReportFn report);
+
+  KeyEngine(const KeyEngine&) = delete;
+  KeyEngine& operator=(const KeyEngine&) = delete;
+
+  /// Runs the per-key steps of Algorithm 3 for one transaction, in the
+  /// monolith's exact order: tentative EXT evaluation and registration
+  /// for `reads` (op order; skipped entirely when `register_reads` is
+  /// false — the replayed-tid case), version install + Step-3 re-check
+  /// per write, then Step-2 NOCONFLICT and interval registration (SI
+  /// only).
+  void ProcessTxn(const TxnCtx& ctx, const ExtReadReq* reads,
+                  size_t num_reads, const WriteReq* writes,
+                  size_t num_writes, bool register_reads, uint64_t now_ms);
+
+  /// Finalizes this engine's external reads of `tid` (EXT timeout fired):
+  /// records flip totals and reports EXT violations for reads that ended
+  /// unsatisfied. No-op if the transaction has no reads here.
+  void FinalizeTxn(TxnId tid);
+
+  /// Garbage-collects versions and write intervals at or below
+  /// `watermark` into the spill store and drops finalized local
+  /// transaction state below it. The caller guarantees watermarks are
+  /// strictly increasing and safe (no unfinalized read view at or below).
+  void CollectUpTo(Timestamp watermark);
+
+  /// Accounting (O(1), backed by running counters).
+  size_t TotalVersions() const { return versions_.TotalVersions(); }
+  size_t TotalIntervals() const { return ongoing_.TotalIntervals(); }
+  size_t ApproxBytes() const { return versions_.ApproxBytes(); }
+  /// Transactions with external reads resident in this engine.
+  size_t ResidentTxns() const { return local_txns_.size(); }
+
+  Timestamp watermark() const { return watermark_; }
+
+ private:
+  struct ExtReadState {
+    Key key = 0;
+    Value observed = kValueBottom;
+    bool satisfied = true;
+    uint32_t flips = 0;
+    uint64_t last_change_ms = 0;
+  };
+
+  /// Per-engine record of a transaction's external reads on this
+  /// engine's keys (the key-scoped slice of the monolith's TxnRec).
+  struct LocalTxn {
+    Timestamp view_ts = 0;
+    Timestamp commit_ts = 0;
+    std::vector<ExtReadState> ext_reads;
+    bool finalized = false;
+  };
+
+  // One external-read registration: txn `tid` read `key` at `view_ts`,
+  // stored as ext_reads[read_idx]. Chains are flat vectors sorted by
+  // view_ts (append-mostly: views arrive in near-timestamp order). At
+  // most one external read per (txn, key), and view timestamps are
+  // unique per transaction.
+  struct ReaderRef {
+    Timestamp view_ts = kTsMin;
+    TxnId tid = kTxnNone;
+    uint32_t read_idx = 0;
+  };
+  using ReaderChain = std::vector<ReaderRef>;
+
+  // Frontier lookup honoring the GC watermark: below it, consults the
+  // spill store (latest version of `key` at or before `view`).
+  VersionedKv::Lookup LookupFrontier(Key key, Timestamp view);
+  VersionedKv::Lookup LookupSpilled(Key key, Timestamp view);
+  const SpillPayload* LoadEpoch(uint64_t id, SpillPayload* scratch);
+
+  void InstallVersionAndRecheck(const TxnCtx& ctx, Key key, Value value,
+                                uint64_t now_ms);
+  void CheckNoConflict(const TxnCtx& ctx, const WriteReq* writes,
+                       size_t num_writes);
+
+  Options options_;
+  CheckerStats* stats_;
+  FlipFlopStats* flip_stats_;
+  ReportFn report_;
+
+  VersionedKv versions_;
+  OngoingIndex ongoing_;
+  SpillStore spill_;
+  std::vector<uint64_t> spill_epochs_;  // ids, in spill order
+  // Tiny cache of reloaded epochs (stragglers cluster in time).
+  std::vector<std::pair<uint64_t, SpillPayload>> epoch_cache_;
+
+  std::unordered_map<TxnId, LocalTxn> local_txns_;
+  // (cts, tid) of resident local txns, sorted by cts (append-mostly).
+  std::vector<std::pair<Timestamp, TxnId>> commit_index_;
+  std::unordered_map<Key, ReaderChain> reader_index_;
+  Timestamp watermark_ = kTsMin;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_KEY_ENGINE_H_

@@ -1,0 +1,103 @@
+// The common surface of the online checkers: the monolithic `Aion`
+// (core/aion.h) and the key-partitioned `ShardedAion`
+// (online/sharded_aion.h) implement the same contract, so the pipeline
+// drivers (online/pipeline.h) and the GC policies work against either.
+// The mode/options/stats/footprint types live here — outside Aion — so
+// the key-scoped `KeyEngine` layer and the sharded coordinator can share
+// them without depending on the monolith.
+#ifndef CHRONOS_CORE_ONLINE_CHECKER_H_
+#define CHRONOS_CORE_ONLINE_CHECKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace chronos {
+
+/// Which isolation level to check. SER ignores start timestamps, uses
+/// the commit timestamp as the read view, and skips NOCONFLICT
+/// (paper Sec. VI-A).
+enum class CheckMode { kSi, kSer };
+
+/// Configuration shared by the monolithic and sharded checkers.
+struct CheckerOptions {
+  CheckMode mode = CheckMode::kSi;
+  /// EXT verdicts become final this long after the transaction arrives
+  /// (the paper conservatively uses 5000 ms). Time is whatever unit the
+  /// caller passes to OnTransaction/AdvanceTime; tests use virtual ms.
+  uint64_t ext_timeout_ms = 5000;
+  /// Directory for the GC spill store. Empty disables persistence: GC
+  /// then discards evicted state, which is only safe when no arrival
+  /// ever dips below the GC watermark (fast mode for throughput
+  /// benches; stragglers below the watermark are counted in
+  /// CheckerStats::unsafe_below_watermark instead of being re-checked).
+  /// A sharded checker appends "/shard<i>" per shard.
+  std::string spill_dir;
+};
+
+/// Aggregate processing counters. In the sharded checker the key-scoped
+/// counters are accumulated per shard and summed on read; every field is
+/// a plain sum, so the merge is commutative.
+struct CheckerStats {
+  uint64_t txns_processed = 0;
+  uint64_t ext_rechecks = 0;           ///< Step-3 reader re-evaluations
+  uint64_t noconflict_checks = 0;      ///< Step-2 overlap queries
+  uint64_t spill_reloads = 0;          ///< epochs loaded back from disk
+  uint64_t unsafe_below_watermark = 0; ///< stragglers GC made unverifiable
+  uint64_t gc_passes = 0;
+
+  CheckerStats& operator+=(const CheckerStats& o) {
+    txns_processed += o.txns_processed;
+    ext_rechecks += o.ext_rechecks;
+    noconflict_checks += o.noconflict_checks;
+    spill_reloads += o.spill_reloads;
+    unsafe_below_watermark += o.unsafe_below_watermark;
+    gc_passes += o.gc_passes;
+    return *this;
+  }
+};
+
+/// Live memory footprint, used by the Fig. 12/16 benches and the GC
+/// policies of the pipeline drivers (live_txns in particular).
+struct CheckerFootprint {
+  size_t live_txns = 0;
+  size_t versions = 0;
+  size_t intervals = 0;
+  size_t approx_bytes = 0;
+};
+
+/// Abstract online checker driven by the pipeline (online/pipeline.h).
+/// All methods are called from the single driver ("coordinator") thread;
+/// implementations may spread the work over internal worker threads.
+class OnlineChecker {
+ public:
+  virtual ~OnlineChecker() = default;
+
+  /// Feeds one collected transaction. `now_ms` is the arrival time on the
+  /// checker's clock; it must be non-decreasing across calls.
+  virtual void OnTransaction(const Transaction& t, uint64_t now_ms) = 0;
+
+  /// Fires all EXT timeouts with deadline <= now_ms, finalizing and
+  /// reporting their verdicts.
+  virtual void AdvanceTime(uint64_t now_ms) = 0;
+
+  /// Garbage-collects state at or below `up_to` (clamped to the safe
+  /// watermark). Returns the effective watermark used.
+  virtual Timestamp Gc(Timestamp up_to) = 0;
+
+  /// Convenience: GC so that at most `target` transaction records stay
+  /// resident (the paper's "maximum transaction limit" strategy).
+  virtual void GcToLiveTarget(size_t target) = 0;
+
+  /// Finalizes every outstanding transaction (end of stream).
+  virtual void Finish() = 0;
+
+  /// Cheap (lock-free) footprint estimate; exact for live_txns.
+  virtual CheckerFootprint GetFootprint() const = 0;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_ONLINE_CHECKER_H_

@@ -1,0 +1,237 @@
+#include "core/txn_ingress.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/small_map.h"
+
+namespace chronos {
+
+void ClassifyOps(const Transaction& t, const KeyEngine::ReportFn& report,
+                 ClassifiedOps* out) {
+  SmallMap<Key, Value> int_val;
+  SmallMap<Key, Value> ext_val;
+  for (const Op& op : t.ops) {
+    if (op.type == OpType::kRead) {
+      if (Value* iv = int_val.Find(op.key)) {
+        if (*iv != op.value) {
+          report(t.commit_ts, {ViolationType::kInt, t.tid, kTxnNone, op.key,
+                               *iv, op.value});
+        }
+        int_val.Put(op.key, op.value);
+      } else {
+        // External read: evaluated against the frontier by the engine.
+        if (out) out->ext_reads.push_back({op.key, op.value});
+        int_val.Put(op.key, op.value);
+      }
+    } else if (op.type == OpType::kWrite) {
+      int_val.Put(op.key, op.value);
+      if (out && !ext_val.Find(op.key)) {
+        out->writes.push_back({op.key, op.value});
+      }
+      ext_val.Put(op.key, op.value);
+    }
+  }
+  // writes must carry the *last* written value per key.
+  if (out) {
+    for (auto& w : out->writes) w.value = *ext_val.Find(w.key);
+  }
+}
+
+TxnIngress::TxnIngress(const CheckerOptions& options, CheckerStats* stats,
+                       KeyEngine::ReportFn report, Dispatch* dispatch)
+    : options_(options),
+      stats_(stats),
+      report_(std::move(report)),
+      dispatch_(dispatch) {}
+
+void TxnIngress::OnTransaction(const Transaction& t, uint64_t now_ms) {
+  last_now_ms_ = std::max(last_now_ms_, now_ms);
+  FireDeadlines(last_now_ms_);
+
+  const bool ser = options_.mode == CheckMode::kSer;
+
+  // Eq. (1) well-formedness (Algorithm 3 lines 4-5). SER ignores start
+  // timestamps entirely.
+  if (!ser && !t.TimestampsOrdered()) {
+    report_(t.commit_ts, {ViolationType::kTsOrder, t.tid, kTxnNone, 0,
+                          static_cast<Value>(t.start_ts),
+                          static_cast<Value>(t.commit_ts)});
+    // INT does not depend on timestamps; still check it.
+    ClassifyOps(t, report_, nullptr);
+    sessions_[t.sid].skipped_snos.insert(t.sno);
+    return;
+  }
+
+  // Duplicate timestamps across distinct transactions.
+  bool dup = false;
+  if (ser) {
+    dup = !used_ts_.insert(t.commit_ts).second;
+    if (!dup) used_ts_min_.push(t.commit_ts);
+  } else {
+    dup = used_ts_.count(t.start_ts) || used_ts_.count(t.commit_ts);
+    if (!dup) {
+      if (used_ts_.insert(t.start_ts).second) used_ts_min_.push(t.start_ts);
+      if (used_ts_.insert(t.commit_ts).second) used_ts_min_.push(t.commit_ts);
+    }
+  }
+  if (dup) {
+    report_(t.commit_ts, {ViolationType::kTsDuplicate, t.tid});
+    sessions_[t.sid].skipped_snos.insert(t.sno);
+    return;
+  }
+
+  CheckSession(t);
+
+  const Timestamp view_ts = ser ? t.commit_ts : t.start_ts;
+
+  // Step 1 (transaction-scoped half): INT checks and the per-key
+  // footprint classification.
+  ClassifiedOps ops;
+  ClassifyOps(t, report_, &ops);
+
+  // A replayed tid keeps its original record and registrations: pushing
+  // its view on the heap again would outlive the single finalize
+  // tombstone and pin the GC watermark forever. Its footprint below
+  // still goes through Steps 2-3 like any other arrival.
+  auto [it, inserted] = txns_.emplace(t.tid, TxnRec{view_ts, t.commit_ts,
+                                                    false});
+  (void)it;
+  if (inserted) {
+    if (commit_index_.empty() || t.commit_ts > commit_index_.back().first) {
+      commit_index_.emplace_back(t.commit_ts, t.tid);  // common: in order
+    } else {
+      auto pos = std::lower_bound(
+          commit_index_.begin(), commit_index_.end(), t.commit_ts,
+          [](const auto& p, Timestamp ts) { return p.first < ts; });
+      commit_index_.insert(pos, {t.commit_ts, t.tid});
+    }
+    view_heap_.push(view_ts);
+    deadlines_.emplace_back(last_now_ms_ + options_.ext_timeout_ms, t.tid);
+  }
+
+  KeyEngine::TxnCtx ctx{t.tid, view_ts, t.commit_ts, t.start_ts};
+  dispatch_->DispatchTxn(ctx, std::move(ops), inserted, last_now_ms_);
+
+  ++stats_->txns_processed;
+}
+
+void TxnIngress::CheckSession(const Transaction& t) {
+  SessionState& ss = sessions_[t.sid];
+  while (ss.skipped_snos.erase(static_cast<uint64_t>(ss.last_sno + 1)) > 0) {
+    ++ss.last_sno;
+  }
+  const bool ser = options_.mode == CheckMode::kSer;
+  // SI: the next transaction of a session must start after the previous
+  // one committed (strong session). SER: its commit must come later in
+  // commit order.
+  Timestamp order_ts = ser ? t.commit_ts : t.start_ts;
+  bool bad_order = ser ? order_ts <= ss.last_cts && ss.last_sno >= 0
+                       : order_ts < ss.last_cts;
+  if (static_cast<int64_t>(t.sno) != ss.last_sno + 1 || bad_order) {
+    report_(t.commit_ts, {ViolationType::kSession, t.tid, kTxnNone, 0,
+                          static_cast<Value>(ss.last_sno + 1),
+                          static_cast<Value>(t.sno)});
+  }
+  ss.last_sno = static_cast<int64_t>(t.sno);
+  ss.last_cts = t.commit_ts;
+}
+
+void TxnIngress::FinalizeRec(TxnId tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end() || it->second.finalized) return;
+  it->second.finalized = true;
+  finalized_views_.insert(it->second.view_ts);
+  dispatch_->DispatchFinalize(tid);
+}
+
+void TxnIngress::FireDeadlines(uint64_t now_ms) {
+  while (!deadlines_.empty() && deadlines_.front().first <= now_ms) {
+    TxnId tid = deadlines_.front().second;
+    deadlines_.pop_front();
+    FinalizeRec(tid);
+  }
+}
+
+void TxnIngress::AdvanceTime(uint64_t now_ms) {
+  last_now_ms_ = std::max(last_now_ms_, now_ms);
+  FireDeadlines(last_now_ms_);
+}
+
+void TxnIngress::Finish() {
+  while (!deadlines_.empty()) {
+    TxnId tid = deadlines_.front().second;
+    deadlines_.pop_front();
+    FinalizeRec(tid);
+  }
+}
+
+std::optional<Timestamp> TxnIngress::OldestUnfinalizedView() {
+  while (!view_heap_.empty()) {
+    Timestamp v = view_heap_.top();
+    auto it = finalized_views_.find(v);
+    if (it == finalized_views_.end()) return v;
+    view_heap_.pop();
+    finalized_views_.erase(it);
+  }
+  return std::nullopt;
+}
+
+Timestamp TxnIngress::Gc(Timestamp up_to) {
+  // Clamp to the safe watermark: no unfinalized transaction's read view
+  // may fall at or below the eviction point, otherwise a future Step-3
+  // re-check could silently use an incomplete version bound.
+  Timestamp effective = up_to;
+  if (std::optional<Timestamp> oldest = OldestUnfinalizedView()) {
+    if (*oldest == kTsMin) return watermark_;
+    effective = std::min(effective, *oldest - 1);
+  }
+  if (effective <= watermark_) return watermark_;
+
+  ++stats_->gc_passes;
+
+  // Drop finalized transaction records committed at or below the line;
+  // the engines drop their own ext-read payloads and reader refs when
+  // the GC dispatch reaches them.
+  auto line_end = std::upper_bound(
+      commit_index_.begin(), commit_index_.end(), effective,
+      [](Timestamp ts, const auto& p) { return ts < p.first; });
+  auto keep = std::remove_if(
+      commit_index_.begin(), line_end,
+      [&](const std::pair<Timestamp, TxnId>& p) {
+        auto tit = txns_.find(p.second);
+        if (tit == txns_.end() || !tit->second.finalized) return false;
+        txns_.erase(tit);
+        return true;
+      });
+  commit_index_.erase(keep, line_end);
+
+  // Timestamp-uniqueness bookkeeping below the line is no longer needed;
+  // duplicates of recycled timestamps would be stragglers anyway.
+  while (!used_ts_min_.empty() && used_ts_min_.top() <= effective) {
+    used_ts_.erase(used_ts_min_.top());
+    used_ts_min_.pop();
+  }
+
+  watermark_ = effective;
+  dispatch_->DispatchGc(effective);
+  return watermark_;
+}
+
+void TxnIngress::GcToLiveTarget(size_t target) {
+  if (txns_.size() <= target) return;
+  // Fast reject: if the oldest unfinalized view already pins the
+  // watermark, no amount of scanning will free anything (asynchrony
+  // preventing recycling, Sec. III-C2 challenge 3).
+  if (std::optional<Timestamp> oldest = OldestUnfinalizedView()) {
+    if (*oldest == kTsMin || *oldest - 1 <= watermark_) return;
+  }
+  size_t excess = txns_.size() - target;
+  Timestamp line = kTsMin;
+  if (excess > 0 && !commit_index_.empty()) {
+    line = commit_index_[std::min(excess, commit_index_.size()) - 1].first;
+  }
+  if (line != kTsMin) Gc(line);
+}
+
+}  // namespace chronos

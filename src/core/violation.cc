@@ -1,6 +1,7 @@
 #include "core/violation.h"
 
 #include <sstream>
+#include <tuple>
 
 namespace chronos {
 
@@ -35,6 +36,19 @@ std::string Violation::ToString() const {
   if (expected != kValueBottom) os << " expected=" << expected;
   if (got != kValueBottom) os << " got=" << got;
   return os.str();
+}
+
+bool operator==(const Violation& a, const Violation& b) {
+  return a.type == b.type && a.tid == b.tid && a.other_tid == b.other_tid &&
+         a.key == b.key && a.expected == b.expected && a.got == b.got;
+}
+
+bool ViolationLess(const Violation& a, const Violation& b) {
+  auto key = [](const Violation& v) {
+    return std::make_tuple(static_cast<uint8_t>(v.type), v.tid, v.other_tid,
+                           v.key, v.expected, v.got);
+  };
+  return key(a) < key(b);
 }
 
 void CountingSink::Report(const Violation& v) {

@@ -41,8 +41,26 @@ struct Violation {
   std::string ToString() const;
 };
 
+/// Field-wise equality (used by tests comparing violation sets).
+bool operator==(const Violation& a, const Violation& b);
+inline bool operator!=(const Violation& a, const Violation& b) {
+  return !(a == b);
+}
+
+/// Deterministic total order over violations by content. The sharded
+/// coordinator uses it (after its primary (commit_ts, tid) key) so the
+/// emitted stream is identical regardless of shard count or thread
+/// timing; tests use it to compare violation multisets.
+bool ViolationLess(const Violation& a, const Violation& b);
+
 /// Receiver of violation reports. Implementations must tolerate concurrent
-/// Report() calls when used from the online pipeline.
+/// Report() calls when used from the online pipeline. Emission order is
+/// checker-specific: the monolithic checkers report as they detect, while
+/// the sharded checker buffers per shard and reports everything on its
+/// coordinator thread at Finish(), sorted by (commit_ts of the attributed
+/// transaction, txn id, content) — callers must not assume a violation is
+/// visible before Finish() returns, nor that detection order is emission
+/// order.
 class ViolationSink {
  public:
   virtual ~ViolationSink() = default;

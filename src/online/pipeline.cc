@@ -3,7 +3,9 @@
 #include <chrono>
 #include <thread>
 
+#include "core/aion.h"
 #include "online/queue.h"
+#include "online/sharded_aion.h"
 
 namespace chronos::online {
 namespace {
@@ -13,7 +15,7 @@ namespace {
 /// clock) and apply GC at the same points of the stream.
 class DriverLoop {
  public:
-  DriverLoop(Aion* checker, const GcPolicy& gc, uint64_t sample_every,
+  DriverLoop(OnlineChecker* checker, const GcPolicy& gc, uint64_t sample_every,
              RunResult* result)
       : checker_(checker),
         gc_(gc),
@@ -66,7 +68,7 @@ class DriverLoop {
   }
 
  private:
-  Aion* checker_;
+  OnlineChecker* checker_;
   GcPolicy gc_;
   uint64_t sample_every_;
   RunResult* result_;
@@ -77,7 +79,7 @@ class DriverLoop {
 
 }  // namespace
 
-RunResult RunMaxRate(Aion* checker,
+RunResult RunMaxRate(OnlineChecker* checker,
                      const std::vector<hist::CollectedTxn>& stream,
                      const GcPolicy& gc, uint64_t sample_every) {
   RunResult result;
@@ -87,7 +89,7 @@ RunResult RunMaxRate(Aion* checker,
   return result;
 }
 
-RunResult RunThreaded(Aion* checker,
+RunResult RunThreaded(OnlineChecker* checker,
                       const std::vector<hist::CollectedTxn>& stream,
                       const GcPolicy& gc, uint64_t sample_every,
                       size_t batch_size, size_t queue_capacity) {
@@ -114,7 +116,8 @@ RunResult RunThreaded(Aion* checker,
     queue.Close();
   });
 
-  // Consumer: the single checker thread (this thread).
+  // Consumer: the checker/coordinator thread (this thread). A sharded
+  // checker fans the drained transactions out to its workers from here.
   std::vector<hist::CollectedTxn> chunk;
   while (queue.PopBatch(&chunk, batch_size)) {
     for (const hist::CollectedTxn& ct : chunk) loop.Feed(ct);
@@ -124,12 +127,19 @@ RunResult RunThreaded(Aion* checker,
   return result;
 }
 
-void RunVirtualTime(Aion* checker,
+void RunVirtualTime(OnlineChecker* checker,
                     const std::vector<hist::CollectedTxn>& stream) {
   for (const hist::CollectedTxn& ct : stream) {
     checker->OnTransaction(ct.txn, ct.deliver_at_ms);
   }
   checker->Finish();
+}
+
+std::unique_ptr<OnlineChecker> MakeChecker(const CheckerOptions& options,
+                                           size_t shards,
+                                           ViolationSink* sink) {
+  if (shards <= 1) return std::make_unique<Aion>(options, sink);
+  return std::make_unique<ShardedAion>(options, shards, sink);
 }
 
 }  // namespace chronos::online

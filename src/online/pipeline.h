@@ -5,9 +5,11 @@
 #define CHRONOS_ONLINE_PIPELINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "core/aion.h"
+#include "core/online_checker.h"
+#include "core/violation.h"
 #include "hist/collector.h"
 #include "online/metrics.h"
 
@@ -57,27 +59,40 @@ struct RunResult {
 /// Feeds the stream into `checker` as fast as it will go (the paper's
 /// throughput-limit methodology: pre-collected logs arriving faster than
 /// the checker can process). Virtual delivery timestamps drive the EXT
-/// timeout clock; wall time drives the TPS series.
-RunResult RunMaxRate(Aion* checker,
+/// timeout clock; wall time drives the TPS series. The checker is either
+/// the monolithic `Aion` or a `ShardedAion` (the shards knob: see
+/// MakeChecker below) — the driver bookkeeping is identical, so their
+/// RunResult series stay comparable.
+RunResult RunMaxRate(OnlineChecker* checker,
                      const std::vector<hist::CollectedTxn>& stream,
                      const GcPolicy& gc, uint64_t sample_every = 10000);
 
 /// Feeds the stream honoring virtual delivery times (for flip-flop
 /// studies, Figs. 13/14): each transaction is delivered at its scheduled
 /// virtual millisecond and timeouts fire in virtual time.
-void RunVirtualTime(Aion* checker,
+void RunVirtualTime(OnlineChecker* checker,
                     const std::vector<hist::CollectedTxn>& stream);
 
 /// Two-stage collector->checker pipeline (paper Fig. 3): a producer
 /// thread batches the stream into a bounded queue (`PushBatch`, one lock
 /// per batch) and the calling thread drains it with `PopBatch`, feeding
-/// the single checker. GC policy, sampling, and the reported RunResult
-/// series are identical to RunMaxRate on the same stream, so Fig. 12
-/// style runs can use either driver interchangeably.
-RunResult RunThreaded(Aion* checker,
+/// the checker — with a `ShardedAion` the drained commands fan out again
+/// to the shard workers, making this a three-stage
+/// collector->coordinator->shards pipeline. GC policy, sampling, and the
+/// reported RunResult series are identical to RunMaxRate on the same
+/// stream, so Fig. 12 style runs can use either driver interchangeably.
+RunResult RunThreaded(OnlineChecker* checker,
                       const std::vector<hist::CollectedTxn>& stream,
                       const GcPolicy& gc, uint64_t sample_every = 10000,
                       size_t batch_size = 500, size_t queue_capacity = 4096);
+
+/// The shards knob: constructs the checker for `shards` (<= 1 the
+/// monolithic `Aion`, otherwise a `ShardedAion` with that many key
+/// partitions). Callers that need concrete-type accessors (stats,
+/// flip_stats) construct the checker themselves instead.
+std::unique_ptr<OnlineChecker> MakeChecker(const CheckerOptions& options,
+                                           size_t shards,
+                                           ViolationSink* sink);
 
 }  // namespace chronos::online
 

@@ -1,0 +1,278 @@
+#include "online/sharded_aion.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace chronos::online {
+namespace {
+
+constexpr size_t kMaxShards = 64;  // finalize fan-out uses a 64-bit mask
+
+// splitmix64 finalizer: keys are often small sequential integers, so mix
+// before taking the remainder to spread hot ranges across shards.
+uint64_t MixKey(Key key) {
+  uint64_t x = key + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedAion::ShardedAion(const Options& options, size_t num_shards,
+                         ViolationSink* sink, size_t cmd_batch,
+                         size_t queue_capacity)
+    : options_(options),
+      sink_(sink),
+      cmd_batch_(cmd_batch == 0 ? 1 : cmd_batch),
+      ingress_(options, &coord_stats_,
+               [this](Timestamp order_ts, const Violation& v) {
+                 coord_violations_.push_back({order_ts, v});
+               },
+               this) {
+  const size_t n = std::min(std::max<size_t>(num_shards, 1), kMaxShards);
+  shards_.reserve(n);
+  slot_.assign(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>(queue_capacity);
+    Shard* raw = shard.get();
+    KeyEngine::Options eo;
+    eo.mode = options_.mode;
+    if (!options_.spill_dir.empty()) {
+      eo.spill_dir = options_.spill_dir + "/shard" + std::to_string(i);
+    }
+    shard->engine = std::make_unique<KeyEngine>(
+        eo, &shard->stats, &shard->flips,
+        [raw](Timestamp order_ts, const Violation& v) {
+          raw->violations.push_back({order_ts, v});
+        });
+    shard->pending.reserve(cmd_batch_);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread(&ShardedAion::WorkerLoop, this, shard.get());
+  }
+}
+
+ShardedAion::~ShardedAion() {
+  for (size_t s = 0; s < shards_.size(); ++s) FlushShard(s);
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  // A caller that skipped Finish() must not lose detected violations:
+  // the workers have drained their queues by now, so emit whatever is
+  // still buffered (no-op after a normal Finish()).
+  EmitViolations();
+}
+
+size_t ShardedAion::ShardOf(Key key) const {
+  return static_cast<size_t>(MixKey(key) % shards_.size());
+}
+
+void ShardedAion::Append(size_t shard, ShardCmd&& cmd) {
+  Shard& s = *shards_[shard];
+  s.pending.push_back(std::move(cmd));
+  if (s.pending.size() >= cmd_batch_) FlushShard(shard);
+}
+
+void ShardedAion::FlushShard(size_t shard) {
+  Shard& s = *shards_[shard];
+  if (s.pending.empty()) return;
+  s.issued += s.pending.size();
+  s.queue.PushBatch(std::move(s.pending));
+  s.pending = {};
+  s.pending.reserve(cmd_batch_);
+}
+
+void ShardedAion::WaitAll() {
+  for (size_t s = 0; s < shards_.size(); ++s) FlushShard(s);
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->done_mu);
+    shard->done_cv.wait(lock,
+                        [&] { return shard->done >= shard->issued; });
+  }
+}
+
+void ShardedAion::WorkerLoop(Shard* shard) {
+  std::vector<ShardCmd> chunk;
+  while (shard->queue.PopBatch(&chunk, cmd_batch_)) {
+    for (ShardCmd& cmd : chunk) ExecuteCmd(shard, cmd);
+    shard->versions.store(shard->engine->TotalVersions(),
+                          std::memory_order_relaxed);
+    shard->intervals.store(shard->engine->TotalIntervals(),
+                           std::memory_order_relaxed);
+    shard->approx_bytes.store(shard->engine->ApproxBytes(),
+                              std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(shard->done_mu);
+      shard->done += chunk.size();
+    }
+    shard->done_cv.notify_all();
+  }
+}
+
+void ShardedAion::ExecuteCmd(Shard* shard, ShardCmd& cmd) {
+  switch (cmd.kind) {
+    case ShardCmd::Kind::kTxn:
+      shard->engine->ProcessTxn(cmd.ctx, cmd.reads.data(), cmd.reads.size(),
+                                cmd.writes.data(), cmd.writes.size(),
+                                cmd.register_reads, cmd.now_ms);
+      break;
+    case ShardCmd::Kind::kFinalize:
+      shard->engine->FinalizeTxn(cmd.ctx.tid);
+      break;
+    case ShardCmd::Kind::kGc:
+      shard->engine->CollectUpTo(cmd.gc_watermark);
+      break;
+  }
+}
+
+void ShardedAion::DispatchTxn(const KeyEngine::TxnCtx& ctx,
+                              ClassifiedOps&& ops, bool register_reads,
+                              uint64_t now_ms) {
+  const size_t n = shards_.size();
+  if (n == 1) {
+    if (register_reads && !ops.ext_reads.empty()) {
+      read_shard_mask_[ctx.tid] = 1;
+    }
+    ShardCmd cmd;
+    cmd.kind = ShardCmd::Kind::kTxn;
+    cmd.register_reads = register_reads;
+    cmd.ctx = ctx;
+    cmd.now_ms = now_ms;
+    cmd.reads = std::move(ops.ext_reads);
+    cmd.writes = std::move(ops.writes);
+    Append(0, std::move(cmd));
+    return;
+  }
+
+  // Partition the footprint, building at most one command per touched
+  // shard directly in that shard's pending buffer (no intermediate
+  // allocation on the coordinator hot path). Flushing is deferred past
+  // the partition loop so the slot indices stay valid.
+  auto slot_for = [&](size_t s) -> ShardCmd& {
+    std::vector<ShardCmd>& pending = shards_[s]->pending;
+    if (slot_[s] < 0) {
+      slot_[s] = static_cast<int32_t>(pending.size());
+      touched_.push_back(static_cast<uint32_t>(s));
+      pending.emplace_back();
+      ShardCmd& c = pending.back();
+      c.kind = ShardCmd::Kind::kTxn;
+      c.register_reads = register_reads;
+      c.ctx = ctx;
+      c.now_ms = now_ms;
+    }
+    return pending[slot_[s]];
+  };
+  for (const KeyEngine::ExtReadReq& r : ops.ext_reads) {
+    slot_for(ShardOf(r.key)).reads.push_back(r);
+  }
+  for (const KeyEngine::WriteReq& w : ops.writes) {
+    slot_for(ShardOf(w.key)).writes.push_back(w);
+  }
+
+  uint64_t read_mask = 0;
+  for (uint32_t s : touched_) {
+    if (register_reads && !shards_[s]->pending[slot_[s]].reads.empty()) {
+      read_mask |= 1ull << s;
+    }
+    slot_[s] = -1;  // reset for the next transaction
+    if (shards_[s]->pending.size() >= cmd_batch_) FlushShard(s);
+  }
+  touched_.clear();
+  if (read_mask != 0) read_shard_mask_[ctx.tid] = read_mask;
+}
+
+void ShardedAion::DispatchFinalize(TxnId tid) {
+  auto it = read_shard_mask_.find(tid);
+  if (it == read_shard_mask_.end()) return;  // no external reads anywhere
+  uint64_t mask = it->second;
+  read_shard_mask_.erase(it);
+  for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
+    if (mask & 1) {
+      ShardCmd cmd;
+      cmd.kind = ShardCmd::Kind::kFinalize;
+      cmd.ctx.tid = tid;
+      Append(s, std::move(cmd));
+    }
+  }
+}
+
+void ShardedAion::DispatchGc(Timestamp watermark) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardCmd cmd;
+    cmd.kind = ShardCmd::Kind::kGc;
+    cmd.gc_watermark = watermark;
+    Append(s, std::move(cmd));
+  }
+}
+
+void ShardedAion::OnTransaction(const Transaction& t, uint64_t now_ms) {
+  ingress_.OnTransaction(t, now_ms);
+}
+
+void ShardedAion::AdvanceTime(uint64_t now_ms) {
+  ingress_.AdvanceTime(now_ms);
+}
+
+Timestamp ShardedAion::Gc(Timestamp up_to) { return ingress_.Gc(up_to); }
+
+void ShardedAion::GcToLiveTarget(size_t target) {
+  ingress_.GcToLiveTarget(target);
+}
+
+void ShardedAion::Finish() {
+  ingress_.Finish();
+  WaitAll();
+  EmitViolations();
+}
+
+void ShardedAion::EmitViolations() {
+  std::vector<TaggedViolation> all = std::move(coord_violations_);
+  coord_violations_.clear();
+  for (auto& shard : shards_) {
+    all.insert(all.end(), shard->violations.begin(), shard->violations.end());
+    shard->violations.clear();
+  }
+  // Deterministic order regardless of shard count and thread timing:
+  // (commit_ts of the attributed txn, txn id), then content.
+  std::sort(all.begin(), all.end(),
+            [](const TaggedViolation& a, const TaggedViolation& b) {
+              if (a.order_ts != b.order_ts) return a.order_ts < b.order_ts;
+              if (a.v.tid != b.v.tid) return a.v.tid < b.v.tid;
+              return ViolationLess(a.v, b.v);
+            });
+  for (const TaggedViolation& tv : all) sink_->Report(tv.v);
+}
+
+CheckerStats ShardedAion::stats() {
+  WaitAll();
+  CheckerStats merged = coord_stats_;
+  for (auto& shard : shards_) merged += shard->stats;
+  return merged;
+}
+
+FlipFlopStats ShardedAion::flip_stats() {
+  WaitAll();
+  FlipFlopStats merged;
+  for (auto& shard : shards_) merged.Merge(shard->flips);
+  return merged;
+}
+
+CheckerFootprint ShardedAion::GetFootprint() const {
+  CheckerFootprint f;
+  f.live_txns = ingress_.live_txns();
+  size_t engine_bytes = 0;
+  for (const auto& shard : shards_) {
+    f.versions += shard->versions.load(std::memory_order_relaxed);
+    f.intervals += shard->intervals.load(std::memory_order_relaxed);
+    engine_bytes += shard->approx_bytes.load(std::memory_order_relaxed);
+  }
+  f.approx_bytes = engine_bytes + f.live_txns * 160 + f.intervals * 64 +
+                   ingress_.used_ts_count() * 48;
+  return f;
+}
+
+}  // namespace chronos::online

@@ -1,0 +1,160 @@
+// Property sweep for the sharded checker (TEST_P): the same randomized
+// histories — clean and with injected faults — are driven through the
+// monolithic Aion and through ShardedAion with 1, 2 and 8 shards, under
+// the same arrival order and GC cadence. The partitioned checker must be
+// indistinguishable: identical verdict counts per violation type,
+// identical violation multisets, and identical GC-survivor counts
+// (live transactions, resident versions, resident intervals) and
+// watermark at the end of the stream.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "core/aion.h"
+#include "hist/collector.h"
+#include "online/sharded_aion.h"
+#include "workload/generator.h"
+
+namespace chronos {
+namespace {
+
+using testing::DriveToEnd;
+using testing::SessionPreservingShuffle;
+using testing::SortedViolations;
+
+struct ShardSweepCase {
+  uint64_t seed;
+  bool faulty;
+  bool gc;  // run with a GC cadence and a spill dir
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ShardSweepCase>& info) {
+  return "seed" + std::to_string(info.param.seed) +
+         (info.param.faulty ? "_faulty" : "_clean") +
+         (info.param.gc ? "_gc" : "_nogc");
+}
+
+class ShardedEquivalenceSweep
+    : public ::testing::TestWithParam<ShardSweepCase> {
+ protected:
+  History Generate() {
+    const ShardSweepCase& c = GetParam();
+    workload::WorkloadParams p;
+    p.sessions = 12;
+    p.txns = 700;
+    p.ops_per_txn = 7;
+    p.keys = 50;
+    p.seed = c.seed;
+    db::DbConfig cfg;
+    if (c.faulty) {
+      cfg.faults.value_corruption_prob = 0.03;
+      cfg.faults.lost_update_prob = 0.04;
+      cfg.faults.stale_read_prob = 0.02;
+      cfg.fault_seed = c.seed * 13 + 1;
+    }
+    return workload::GenerateDefaultHistory(p, cfg);
+  }
+};
+
+TEST_P(ShardedEquivalenceSweep, MatchesMonolithAtEveryShardCount) {
+  const ShardSweepCase& c = GetParam();
+  History h = Generate();
+  // GC cases deliver in commit order with a short timeout so collection
+  // has finalized prefixes to evict (like property_test's P3 GC sweep);
+  // no-GC cases shuffle arrivals and finalize only at Finish so the
+  // out-of-order paths (Step-3 re-checks, flips) are exercised without
+  // premature EXT verdicts.
+  std::vector<Transaction> arrivals;
+  if (c.gc) {
+    hist::CollectorParams cp;
+    for (auto& ct : hist::ScheduleDelivery(h, cp)) {
+      arrivals.push_back(std::move(ct.txn));
+    }
+  } else {
+    arrivals = SessionPreservingShuffle(h, c.seed * 31 + 5);
+  }
+  const size_t gc_every = c.gc ? 64 : 0;
+  const size_t gc_target = c.gc ? 30 : 0;
+
+  CheckerOptions opt;
+  opt.ext_timeout_ms = c.gc ? 2 : (1u << 30);
+  std::string spill_base;
+  if (c.gc) {
+    spill_base = ::testing::TempDir() + "/sharded_prop_" +
+                 std::to_string(c.seed) + (c.faulty ? "_f" : "_c");
+    std::filesystem::remove_all(spill_base);
+  }
+
+  // Reference: the monolith.
+  VectorSink mono_sink;
+  CheckerOptions mono_opt = opt;
+  if (c.gc) mono_opt.spill_dir = spill_base + "/mono";
+  Aion mono(mono_opt, &mono_sink);
+  DriveToEnd(&mono, arrivals, gc_every, gc_target);
+  auto mono_violations = SortedViolations(mono_sink.TakeAll());
+  CheckerFootprint mono_fp = mono.GetFootprint();
+
+  if (c.faulty) {
+    ASSERT_GT(mono_violations.size(), 0u)
+        << "fault injection must surface violations";
+  } else {
+    EXPECT_EQ(mono_violations.size(), 0u)
+        << (mono_violations.empty() ? "" : mono_violations[0].ToString());
+  }
+
+  for (size_t shards : {1u, 2u, 8u}) {
+    VectorSink sink;
+    CheckerOptions sopt = opt;
+    if (c.gc) {
+      sopt.spill_dir = spill_base + "/s" + std::to_string(shards);
+    }
+    online::ShardedAion sharded(sopt, shards, &sink);
+    DriveToEnd(&sharded, arrivals, gc_every, gc_target);
+
+    // Identical verdict: same violation multiset.
+    auto got = SortedViolations(sink.TakeAll());
+    ASSERT_EQ(got.size(), mono_violations.size()) << "shards=" << shards;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], mono_violations[i])
+          << "shards=" << shards << " index " << i << ": "
+          << got[i].ToString() << " vs " << mono_violations[i].ToString();
+    }
+
+    // Identical GC survivors and watermark.
+    CheckerFootprint fp = sharded.GetFootprint();
+    EXPECT_EQ(fp.live_txns, mono_fp.live_txns) << "shards=" << shards;
+    EXPECT_EQ(fp.versions, mono_fp.versions) << "shards=" << shards;
+    EXPECT_EQ(fp.intervals, mono_fp.intervals) << "shards=" << shards;
+    EXPECT_EQ(sharded.watermark(), mono.watermark()) << "shards=" << shards;
+
+    // Identical processing counters (the per-key work is the same work,
+    // just partitioned).
+    CheckerStats s = sharded.stats();
+    EXPECT_EQ(s.txns_processed, mono.stats().txns_processed);
+    EXPECT_EQ(s.ext_rechecks, mono.stats().ext_rechecks);
+    EXPECT_EQ(s.noconflict_checks, mono.stats().noconflict_checks);
+    EXPECT_EQ(s.gc_passes, mono.stats().gc_passes);
+    EXPECT_EQ(sharded.flip_stats().total_flips(),
+              mono.flip_stats().total_flips());
+  }
+
+  if (c.gc) std::filesystem::remove_all(spill_base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShardedEquivalenceSweep,
+    ::testing::Values(ShardSweepCase{1, false, false},
+                      ShardSweepCase{2, false, true},
+                      ShardSweepCase{3, true, false},
+                      ShardSweepCase{4, true, true},
+                      ShardSweepCase{5, true, true},
+                      ShardSweepCase{6, false, true},
+                      ShardSweepCase{7, true, false},
+                      ShardSweepCase{8, true, true}),
+    CaseName);
+
+}  // namespace
+}  // namespace chronos

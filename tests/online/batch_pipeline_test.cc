@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/aion.h"
 #include "core/chronos.h"
 #include "hist/collector.h"
 #include "online/pipeline.h"

@@ -4,6 +4,7 @@
 
 #include <thread>
 
+#include "core/aion.h"
 #include "core/chronos.h"
 #include "hist/collector.h"
 #include "online/metrics.h"

@@ -83,6 +83,26 @@ inline std::vector<Transaction> SessionPreservingShuffle(const History& h,
   return out;
 }
 
+/// Drives any OnlineChecker (monolithic or sharded) over `arrivals`:
+/// virtual time advances 1 ms per transaction and, when `gc_every` is
+/// set, GcToLiveTarget(gc_target) runs on that cadence. Finalizes the
+/// checker at the end. Identical schedules here are what make
+/// Aion-vs-ShardedAion comparisons exact.
+inline void DriveToEnd(OnlineChecker* checker,
+                       const std::vector<Transaction>& arrivals,
+                       size_t gc_every = 0, size_t gc_target = 0) {
+  uint64_t now = 0;
+  size_t since_gc = 0;
+  for (const Transaction& t : arrivals) {
+    checker->OnTransaction(t, now++);
+    if (gc_every > 0 && ++since_gc >= gc_every) {
+      since_gc = 0;
+      checker->GcToLiveTarget(gc_target);
+    }
+  }
+  checker->Finish();
+}
+
 /// Feeds a whole history to a fresh Aion instance (arrival order given,
 /// virtual time advancing 1 ms per transaction), finalizes it, and
 /// returns the violation counts.
@@ -96,16 +116,17 @@ inline void RunAionToEnd(const std::vector<Transaction>& arrivals,
   opt.ext_timeout_ms = ext_timeout;  // default: finalize only at Finish()
   opt.spill_dir = spill_dir;
   Aion aion(opt, sink);
-  uint64_t now = 0;
-  size_t since_gc = 0;
-  for (const Transaction& t : arrivals) {
-    aion.OnTransaction(t, now++);
-    if (gc_every > 0 && ++since_gc >= gc_every) {
-      since_gc = 0;
-      aion.GcToLiveTarget(gc_target);
-    }
-  }
-  aion.Finish();
+  DriveToEnd(&aion, arrivals, gc_every, gc_target);
+}
+
+/// Sorts a violation list into the deterministic content order (for
+/// multiset comparisons between checkers that emit in different orders).
+inline std::vector<Violation> SortedViolations(std::vector<Violation> v) {
+  std::sort(v.begin(), v.end(), [](const Violation& a, const Violation& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return ViolationLess(a, b);
+  });
+  return v;
 }
 
 }  // namespace chronos::testing

@@ -4,12 +4,16 @@
 //                 [--online] [--timeout-ms=5000] [--spill=/tmp/aion]
 //                 [--delay-mean=0 --delay-stddev=0]   (online only)
 //                 [--threaded] [--batch=500]          (online only)
+//                 [--shards=1]                        (online only)
 //                 [--gc-every=0] [--max-report=20]
 //
 // Offline mode runs CHRONOS; --online replays the history through AION
-// via the collector (delays model asynchrony).
+// via the collector (delays model asynchrony). --shards=N checks with
+// the key-partitioned ShardedAion (N worker threads); violations are
+// then reported in deterministic (commit_ts, txn id) order.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/aion.h"
@@ -18,6 +22,7 @@
 #include "hist/codec.h"
 #include "hist/collector.h"
 #include "online/pipeline.h"
+#include "online/sharded_aion.h"
 
 using namespace chronos;
 
@@ -96,21 +101,34 @@ int main(int argc, char** argv) {
     if (const char* spill = FlagValue(argc, argv, "--spill")) {
       opt.spill_dir = spill;
     }
-    Aion checker(opt, &sink);
+    const size_t shards =
+        static_cast<size_t>(U64Flag(argc, argv, "--shards", 1));
+    std::unique_ptr<Aion> mono;
+    std::unique_ptr<online::ShardedAion> shard;
+    OnlineChecker* checker;
+    if (shards > 1) {
+      shard = std::make_unique<online::ShardedAion>(opt, shards, &sink);
+      checker = shard.get();
+    } else {
+      mono = std::make_unique<Aion>(opt, &sink);
+      checker = mono.get();
+    }
     Stopwatch sw;
     const bool threaded = HasFlag(argc, argv, "--threaded");
     online::RunResult r =
-        threaded ? online::RunThreaded(&checker, stream,
+        threaded ? online::RunThreaded(checker, stream,
                                        online::GcPolicy::None(),
                                        /*sample_every=*/10000,
                                        U64Flag(argc, argv, "--batch", 500))
-                 : online::RunMaxRate(&checker, stream,
+                 : online::RunMaxRate(checker, stream,
                                       online::GcPolicy::None());
+    uint64_t flips = shard ? shard->flip_stats().total_flips()
+                           : mono->flip_stats().total_flips();
+    std::string driver = threaded ? "threaded" : "max-rate";
+    if (shard) driver += ", " + std::to_string(shard->num_shards()) + " shards";
     std::printf("online %s check (%s): %.3fs (%.0f TPS), %llu flip-flops\n",
-                level.c_str(), threaded ? "threaded" : "max-rate",
-                sw.Seconds(), r.AvgTps(),
-                static_cast<unsigned long long>(
-                    checker.flip_stats().total_flips()));
+                level.c_str(), driver.c_str(), sw.Seconds(), r.AvgTps(),
+                static_cast<unsigned long long>(flips));
   } else {
     ChronosOptions opt;
     opt.gc_every_n_txns = U64Flag(argc, argv, "--gc-every", 0);

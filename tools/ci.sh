@@ -3,10 +3,47 @@
 # full ctest suite, then a tiny bench_micro pass so a perf-path compile
 # or runtime regression cannot land silently. Run from the repo root.
 #
+# A ThreadSanitizer pass then rebuilds the concurrent suites (the batched
+# queue pipeline and the sharded checker) in a separate build dir and
+# runs them under TSan, so a data race in the coordinator->shard fan-out
+# cannot land silently either. Skip with CHRONOS_CI_TSAN=0; run only the
+# TSan stage with CHRONOS_CI_TSAN_ONLY=1 (the workflow's dedicated job).
+#
 # Usage: tools/ci.sh [build_dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+
+# The threaded test binaries TSan covers; extend when adding concurrent
+# suites (this list is the single source for local runs and CI).
+TSAN_TESTS=(batch_pipeline_test online_test sharded_aion_test
+            sharded_property_test)
+
+run_tsan() {
+  local tsan_dir="${BUILD_DIR}-tsan"
+  # Per-config flags are overridden too: the default RelWithDebInfo ones
+  # would append -O2 -DNDEBUG after CMAKE_CXX_FLAGS, silently undoing the
+  # -O1 (TSan-friendly codegen) and disabling asserts in the suites.
+  cmake -B "$tsan_dir" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+        -DCMAKE_CXX_FLAGS_RELWITHDEBINFO="-O1 -g" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+        -DCHRONOS_BUILD_BENCH=OFF -DCHRONOS_BUILD_TOOLS=OFF \
+        -DCHRONOS_BUILD_EXAMPLES=OFF
+  cmake --build "$tsan_dir" -j --target "${TSAN_TESTS[@]}"
+  local t
+  for t in "${TSAN_TESTS[@]}"; do
+    echo "tsan: $t"
+    "$tsan_dir/$t"
+  done
+}
+
+if [[ "${CHRONOS_CI_TSAN_ONLY:-0}" == "1" ]]; then
+  run_tsan
+  echo "ci.sh: OK (tsan only)"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
@@ -15,10 +52,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # Bench smoke: minimal runtime, just proves the binaries execute.
 if [[ -x "$BUILD_DIR/bench_micro" ]]; then
   BENCH_MIN_TIME=0.01 \
-  BENCH_FILTER='BM_AionPerTxn/2000|BM_VersionedKvLookup/10000' \
+  BENCH_FILTER='BM_AionPerTxn/2000|BM_ShardedAionPerTxn/shards:2|BM_VersionedKvLookup/10000' \
     bench/run_micro.sh "$BUILD_DIR" "$BUILD_DIR/BENCH_micro_smoke.json"
 else
   echo "bench_micro not built (google-benchmark missing); skipping smoke"
+fi
+
+if [[ "${CHRONOS_CI_TSAN:-1}" != "0" ]]; then
+  run_tsan
 fi
 
 echo "ci.sh: OK"
