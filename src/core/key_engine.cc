@@ -163,8 +163,20 @@ void KeyEngine::InstallVersionAndRecheck(const TxnCtx& ctx, Key key,
   const ReaderChain& readers = rit->second;
 
   // Affected read views: SI sees versions with cts <= view, so the range
-  // is [cts, next); SER sees versions with cts < view, so it is (cts,
-  // next].
+  // is [cts, next]; SER sees versions with cts < view, so it is (cts,
+  // next]. The upper bound is inclusive in both modes: timestamps are
+  // unique across transactions, so a reader whose view equals `next` can
+  // only be the writer of the version at `next` itself (start == commit),
+  // and its own version is invisible to it — the version installed here
+  // is its real frontier (fuzz finding: a late-start-stamped
+  // read-then-write transaction was left with a stale tentative EXT
+  // verdict because the re-check stopped at `next` exclusive).
+  // The uniqueness premise holds even for malformed input: the ingress
+  // dup-gate rejects any arrival whose start or commit timestamp was
+  // already used (the offender is never dispatched, divergence entry
+  // D6), and once GC prunes the used-ts window a colliding straggler can
+  // only shadow readers the watermark clamp already finalized — which
+  // the `finalized` check below skips.
   auto view_lt = [](const ReaderRef& r, Timestamp ts) {
     return r.view_ts < ts;
   };
@@ -176,9 +188,7 @@ void KeyEngine::InstallVersionAndRecheck(const TxnCtx& ctx, Key key,
                    : std::lower_bound(readers.begin(), readers.end(), cts,
                                       view_lt);
   for (auto it = begin; it != readers.end(); ++it) {
-    if (next) {
-      if (ser ? it->view_ts > *next : it->view_ts >= *next) break;
-    }
+    if (next && it->view_ts > *next) break;
     auto tit = local_txns_.find(it->tid);
     if (tit == local_txns_.end()) continue;
     LocalTxn& reader = tit->second;

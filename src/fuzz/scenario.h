@@ -1,0 +1,59 @@
+// Seed-derived chaos scenarios for the differential fuzzing harness
+// (paper Sec. V-D generalized): one uint64 seed deterministically picks a
+// workload shape (Table I knobs), a database configuration (isolation,
+// oracle choice, HLC skew, injected faults), and a checker configuration
+// (EXT timeout, GC cadence, spill, arrival order). Everything downstream
+// — history bytes, fault log, checker verdicts — is a pure function of
+// the seed, so any fuzz finding replays from its seed alone.
+#ifndef CHRONOS_FUZZ_SCENARIO_H_
+#define CHRONOS_FUZZ_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/database.h"
+#include "workload/generator.h"
+
+namespace chronos::fuzz {
+
+/// One fully-specified fuzzing scenario.
+struct FuzzScenario {
+  uint64_t seed = 0;
+
+  workload::WorkloadParams wl;
+  db::DbConfig db;
+
+  // --- checker knobs ---
+  /// EXT timeout on the virtual clock. Huge (the default) means verdicts
+  /// finalize only at Finish(), which is what makes online counts equal
+  /// offline counts for any session-preserving arrival order.
+  uint64_t ext_timeout_ms = 1ull << 30;
+  /// GcToLiveTarget(gc_target) every `gc_every` arrivals (0: no GC).
+  size_t gc_every = 0;
+  size_t gc_target = 0;
+  /// Persist GC-evicted state (spill store) so stragglers stay checkable.
+  bool spill = false;
+  /// Collector delay model (cross-session arrival reordering).
+  double delay_mean_ms = 0;
+  double delay_stddev_ms = 0;
+  /// Non-zero: drive the online checkers in a session-preserving shuffle
+  /// with this seed instead of commit order.
+  uint64_t shuffle_seed = 0;
+
+  /// Strict scenarios enforce the full cross-checker equality rules
+  /// (online == offline per violation class). Weak scenarios — finite
+  /// timeout with reordered arrival, or GC without spill — only enforce
+  /// the rules that remain exact (sharded-vs-monolith identity, offline
+  /// agreement); see the expected-divergence table in fuzz/differ.h.
+  bool strict = true;
+
+  /// One-line description (workload x faults x knobs) for fuzz logs.
+  std::string Describe() const;
+};
+
+/// Deterministically derives the scenario for `seed`.
+FuzzScenario ScenarioFromSeed(uint64_t seed);
+
+}  // namespace chronos::fuzz
+
+#endif  // CHRONOS_FUZZ_SCENARIO_H_

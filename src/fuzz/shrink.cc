@@ -1,0 +1,205 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace chronos::fuzz {
+namespace {
+
+// Rebuilds a transaction without ops [begin, end), dropping the list
+// payloads of removed list reads and reindexing the survivors.
+Transaction WithoutOps(const Transaction& t, size_t begin, size_t end) {
+  Transaction out;
+  out.tid = t.tid;
+  out.sid = t.sid;
+  out.sno = t.sno;
+  out.start_ts = t.start_ts;
+  out.commit_ts = t.commit_ts;
+  for (size_t i = 0; i < t.ops.size(); ++i) {
+    if (i >= begin && i < end) continue;
+    Op op = t.ops[i];
+    if (op.type == OpType::kReadList) {
+      uint32_t idx = static_cast<uint32_t>(out.list_args.size());
+      out.list_args.push_back(t.list_args[op.list_index]);
+      op.list_index = idx;
+    }
+    out.ops.push_back(op);
+  }
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(History h, const FailurePredicate& fails,
+           const ShrinkOptions& options)
+      : current_(std::move(h)), fails_(fails), options_(options) {}
+
+  bool Budget() const { return calls_ < options_.max_predicate_calls; }
+
+  bool Accept(History&& candidate) {
+    if (!Budget()) return false;
+    ++calls_;
+    if (!fails_(candidate)) return false;
+    current_ = std::move(candidate);
+    return true;
+  }
+
+  // Chunked greedy removal of transactions: try dropping runs of `chunk`
+  // transactions, halving the chunk when a full sweep removes nothing.
+  void ShrinkTxns() {
+    size_t chunk = std::max<size_t>(1, current_.txns.size() / 2);
+    while (Budget()) {
+      bool removed = false;
+      for (size_t start = 0; start < current_.txns.size() && Budget();) {
+        History candidate = current_;
+        size_t end = std::min(start + chunk, candidate.txns.size());
+        candidate.txns.erase(candidate.txns.begin() + start,
+                             candidate.txns.begin() + end);
+        if (!candidate.txns.empty() &&
+            Accept(NormalizeSessions(std::move(candidate)))) {
+          removed = true;  // same start now addresses the next run
+        } else {
+          start += chunk;
+        }
+      }
+      if (!removed && chunk == 1) break;
+      if (!removed) chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+
+  // Per-transaction chunked removal of operations.
+  void ShrinkOps() {
+    for (size_t ti = 0; ti < current_.txns.size() && Budget(); ++ti) {
+      size_t chunk = std::max<size_t>(1, current_.txns[ti].ops.size() / 2);
+      while (Budget()) {
+        bool removed = false;
+        for (size_t start = 0;
+             start < current_.txns[ti].ops.size() && Budget();) {
+          History candidate = current_;
+          size_t end = std::min(start + chunk, candidate.txns[ti].ops.size());
+          candidate.txns[ti] = WithoutOps(candidate.txns[ti], start, end);
+          if (Accept(std::move(candidate))) {
+            removed = true;
+          } else {
+            start += chunk;
+          }
+        }
+        if (!removed && chunk == 1) break;
+        if (!removed) chunk = std::max<size_t>(1, chunk / 2);
+      }
+    }
+  }
+
+  // Rank-compresses all timestamps to 1..T (order- and equality-
+  // preserving, so Eq. (1) inversions and duplicates survive).
+  void CompactTimestamps() {
+    std::map<Timestamp, Timestamp> rank;
+    for (const Transaction& t : current_.txns) {
+      rank[t.start_ts] = 0;
+      rank[t.commit_ts] = 0;
+    }
+    Timestamp next = 1;
+    for (auto& [ts, r] : rank) r = next++;
+    History candidate = current_;
+    for (Transaction& t : candidate.txns) {
+      t.start_ts = rank[t.start_ts];
+      t.commit_ts = rank[t.commit_ts];
+    }
+    Accept(std::move(candidate));
+  }
+
+  // Renames keys (to 0..k-1) and values (to 1..m, keeping the initial
+  // value 0 fixed) in first-appearance order.
+  void CompactKeysAndValues() {
+    std::unordered_map<Key, Key> key_map;
+    std::unordered_map<Value, Value> val_map;
+    val_map[kValueInit] = kValueInit;
+    auto key_of = [&](Key k) {
+      auto [it, fresh] = key_map.emplace(k, key_map.size());
+      (void)fresh;
+      return it->second;
+    };
+    auto val_of = [&](Value v) {
+      auto [it, fresh] =
+          val_map.emplace(v, static_cast<Value>(val_map.size()));
+      (void)fresh;
+      return it->second;
+    };
+    History candidate = current_;
+    for (Transaction& t : candidate.txns) {
+      for (Op& op : t.ops) {
+        op.key = key_of(op.key);
+        if (op.type != OpType::kReadList) op.value = val_of(op.value);
+      }
+      for (auto& list : t.list_args) {
+        for (Value& e : list) e = val_of(e);
+      }
+    }
+    Accept(std::move(candidate));
+  }
+
+  ShrinkResult Finish() && {
+    ShrinkResult r;
+    r.minimized = std::move(current_);
+    r.final_txns = r.minimized.txns.size();
+    r.final_ops = r.minimized.NumOps();
+    r.predicate_calls = calls_;
+    return r;
+  }
+
+  History current_;
+
+ private:
+  const FailurePredicate& fails_;
+  ShrinkOptions options_;
+  size_t calls_ = 0;
+};
+
+}  // namespace
+
+History NormalizeSessions(History h) {
+  // Stable per-session reindex: order by current sno (ties by position),
+  // reassign 0..n-1.
+  std::unordered_map<SessionId, std::vector<Transaction*>> by_session;
+  for (Transaction& t : h.txns) by_session[t.sid].push_back(&t);
+  SessionId max_sid = 0;
+  for (auto& [sid, txns] : by_session) {
+    max_sid = std::max(max_sid, sid);
+    std::stable_sort(txns.begin(), txns.end(),
+                     [](const Transaction* a, const Transaction* b) {
+                       return a->sno < b->sno;
+                     });
+    uint64_t next = 0;
+    for (Transaction* t : txns) t->sno = next++;
+  }
+  h.num_sessions = h.txns.empty() ? 0 : max_sid + 1;
+  return h;
+}
+
+ShrinkResult ShrinkHistory(const History& h, const FailurePredicate& fails,
+                           const ShrinkOptions& options) {
+  ShrinkResult nothing;
+  nothing.minimized = h;
+  nothing.initial_txns = nothing.final_txns = h.txns.size();
+  nothing.initial_ops = nothing.final_ops = h.NumOps();
+  if (!fails(h)) return nothing;  // precondition violated: no-op
+
+  Shrinker s(h, fails, options);
+  s.ShrinkTxns();
+  s.ShrinkOps();
+  // A second transaction pass: op removal often unblocks further
+  // transaction drops (a txn reduced to no ops rarely sustains the
+  // disagreement on its own).
+  s.ShrinkTxns();
+  s.CompactTimestamps();
+  s.CompactKeysAndValues();
+
+  ShrinkResult r = std::move(s).Finish();
+  r.initial_txns = h.txns.size();
+  r.initial_ops = h.NumOps();
+  return r;
+}
+
+}  // namespace chronos::fuzz

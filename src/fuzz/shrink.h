@@ -1,0 +1,53 @@
+// Delta-debugging shrinker for fuzz findings: given a history and a
+// failure predicate ("the checker disagreement is still present"),
+// greedily minimizes the history — drop transactions (chunked ddmin),
+// drop operations, then compact timestamps and rename keys/values to
+// small dense domains — while preserving the failure. Every candidate
+// is re-validated through the predicate, so any reduction that would
+// mask the disagreement (or introduce an unrelated one under a
+// different rule) is rolled back. Session sequence numbers are
+// renormalized after every transaction drop so no candidate is rejected
+// for a fabricated sno gap; a genuine session-order inversion survives
+// renormalization because relative order is preserved.
+#ifndef CHRONOS_FUZZ_SHRINK_H_
+#define CHRONOS_FUZZ_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "core/types.h"
+
+namespace chronos::fuzz {
+
+/// Returns true when the (candidate) history still exhibits the failure
+/// being minimized. Must be deterministic.
+using FailurePredicate = std::function<bool(const History&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations (each one typically re-runs
+  /// the differ); the shrinker returns its best-so-far at the cap.
+  size_t max_predicate_calls = 3000;
+};
+
+struct ShrinkResult {
+  History minimized;
+  size_t initial_txns = 0;
+  size_t final_txns = 0;
+  size_t initial_ops = 0;
+  size_t final_ops = 0;
+  size_t predicate_calls = 0;
+};
+
+/// Renumbers each session's sequence numbers to 0..n-1 preserving
+/// relative order, and recomputes num_sessions. Exposed for tests and
+/// for callers that edit histories by hand.
+History NormalizeSessions(History h);
+
+/// Minimizes `h` under `fails`. Precondition: fails(h) is true (if not,
+/// `h` is returned unchanged with final==initial).
+ShrinkResult ShrinkHistory(const History& h, const FailurePredicate& fails,
+                           const ShrinkOptions& options = {});
+
+}  // namespace chronos::fuzz
+
+#endif  // CHRONOS_FUZZ_SHRINK_H_

@@ -29,11 +29,17 @@ enum Table : uint64_t {
   kOrderLine = 25,   // (w*100+d, oid*16+line) -> item
 };
 
-std::atomic<Value> g_app_value{1000000};
+// Run-local unique-value source: values only need to be unique within
+// one generated history, and a per-run counter keeps `chronos_gen
+// --seed` reproducible even when several histories are generated in the
+// same process (the fuzz harness does).
+class ValueSource {
+ public:
+  Value Next() { return next_++; }
 
-Value NextValue() {
-  return g_app_value.fetch_add(1, std::memory_order_relaxed);
-}
+ private:
+  Value next_ = 1000000;
+};
 
 using TxnBody = std::function<void(db::Database*, db::Database::Txn*)>;
 
@@ -86,6 +92,7 @@ void RunInterleavedBatches(db::Database* db, uint32_t sessions, uint64_t total,
 
 void RunTwitterWorkload(db::Database* db, const TwitterParams& p) {
   std::mt19937_64 rng(p.seed);
+  ValueSource values;
   std::uniform_int_distribution<uint32_t> pick_user(0, p.users - 1);
   std::uniform_real_distribution<double> coin(0, 1);
   std::vector<uint64_t> post_seq(p.users, 0);
@@ -95,7 +102,7 @@ void RunTwitterWorkload(db::Database* db, const TwitterParams& p) {
     if (action < p.post_ratio) {
       uint32_t u = pick_user(rng);
       uint64_t seq = post_seq[u]++;
-      Value content = NextValue();
+      Value content = values.Next();
       return [u, seq, content](db::Database* d, db::Database::Txn* t) {
         d->Write(t, ComposeKey(kTweet, u, seq), content);
         d->Write(t, ComposeKey(kLastPost, u), static_cast<Value>(seq + 1));
@@ -131,6 +138,7 @@ History GenerateTwitterHistory(const TwitterParams& params,
 
 void RunRubisWorkload(db::Database* db, const RubisParams& p) {
   std::mt19937_64 rng(p.seed);
+  ValueSource values;
   std::uniform_int_distribution<uint32_t> pick_user(0, p.users - 1);
   std::uniform_int_distribution<uint32_t> pick_item(0, p.items - 1);
   std::uniform_real_distribution<double> coin(0, 1);
@@ -140,14 +148,14 @@ void RunRubisWorkload(db::Database* db, const RubisParams& p) {
     double action = coin(rng);
     if (action < 0.05) {  // register account
       uint32_t u = pick_user(rng);
-      Value v = NextValue();
+      Value v = values.Next();
       return [u, v](db::Database* d, db::Database::Txn* t) {
         d->Write(t, ComposeKey(kUser, u), v);
       };
     }
     if (action < 0.15) {  // list an item
       uint32_t i = pick_item(rng);
-      Value v = NextValue();
+      Value v = values.Next();
       return [i, v](db::Database* d, db::Database::Txn* t) {
         d->Write(t, ComposeKey(kItem, i), v);
       };
@@ -155,7 +163,7 @@ void RunRubisWorkload(db::Database* db, const RubisParams& p) {
     if (action < 0.40) {  // place a bid
       uint32_t i = pick_item(rng);
       uint64_t seq = bid_seq++;
-      Value amount = NextValue(), top = NextValue();
+      Value amount = values.Next(), top = values.Next();
       return [i, seq, amount, top](db::Database* d, db::Database::Txn* t) {
         d->Read(t, ComposeKey(kItem, i));
         d->Read(t, ComposeKey(kItemTop, i));
@@ -172,7 +180,7 @@ void RunRubisWorkload(db::Database* db, const RubisParams& p) {
     }
     uint32_t u = pick_user(rng);  // leave a comment
     uint64_t seq = comment_seq++;
-    Value v = NextValue();
+    Value v = values.Next();
     return [u, seq, v](db::Database* d, db::Database::Txn* t) {
       d->Read(t, ComposeKey(kUser, u));
       d->Write(t, ComposeKey(kComment, u, seq), v);
@@ -191,6 +199,7 @@ History GenerateRubisHistory(const RubisParams& params,
 
 void RunTpccWorkload(db::Database* db, const TpccParams& p) {
   std::mt19937_64 rng(p.seed);
+  ValueSource values;
   std::uniform_int_distribution<uint32_t> pick_wh(0, p.warehouses - 1);
   std::uniform_int_distribution<uint32_t> pick_d(0, p.districts_per_wh - 1);
   std::uniform_int_distribution<uint32_t> pick_c(0,
@@ -210,7 +219,7 @@ void RunTpccWorkload(db::Database* db, const TpccParams& p) {
       for (uint32_t l = 0; l < lines; ++l) items.push_back(pick_i(rng));
       std::vector<Value> stock_vals;
       stock_vals.reserve(lines);
-      for (uint32_t l = 0; l < lines; ++l) stock_vals.push_back(NextValue());
+      for (uint32_t l = 0; l < lines; ++l) stock_vals.push_back(values.Next());
       return [w, d, oid, items, stock_vals](db::Database* db2,
                                             db::Database::Txn* t) {
         db2->Read(t, ComposeKey(kWarehouse, w));
@@ -227,7 +236,7 @@ void RunTpccWorkload(db::Database* db, const TpccParams& p) {
     }
     if (action < 0.88) {  // payment
       uint32_t c = pick_c(rng);
-      Value v1 = NextValue(), v2 = NextValue(), v3 = NextValue();
+      Value v1 = values.Next(), v2 = values.Next(), v3 = values.Next();
       return [w, d, c, v1, v2, v3](db::Database* db2, db::Database::Txn* t) {
         db2->Read(t, ComposeKey(kWarehouse, w));
         db2->Write(t, ComposeKey(kWarehouse, w), v1);

@@ -16,6 +16,8 @@
 #include <memory>
 #include <string>
 
+#include "flags.h"
+
 #include "core/aion.h"
 #include "core/chronos.h"
 #include "core/chronos_list.h"
@@ -28,27 +30,7 @@ using namespace chronos;
 
 namespace {
 
-const char* FlagValue(int argc, char** argv, const char* name) {
-  size_t len = strlen(name);
-  for (int i = 1; i < argc; ++i) {
-    if (strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
-  }
-  return nullptr;
-}
-
-bool HasFlag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
-
-uint64_t U64Flag(int argc, char** argv, const char* name, uint64_t def) {
-  const char* v = FlagValue(argc, argv, name);
-  return v ? strtoull(v, nullptr, 10) : def;
-}
+using namespace chronos::tools;
 
 void PrintReport(const CountingSink& sink, size_t max_report) {
   std::printf("violations: total=%zu SESSION=%zu INT=%zu EXT=%zu "

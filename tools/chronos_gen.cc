@@ -4,50 +4,29 @@
 //   chronos_gen --out=h.hist --workload=default --txns=100000
 //               [--sessions=50] [--ops=15] [--keys=1000] [--reads=0.5]
 //               [--dist=zipf|uniform|hotspot] [--list] [--ser]
-//               [--seed=1] [--fault=lost_update|stale_read|value|
-//                           ts_swap|early_commit|session_reorder]
-//               [--fault-prob=0.05]
+//               [--seed=1] [--fault=lost_update|stale_read|value|ts_swap|
+//                           early_commit|late_start|session_reorder]
+//               [--fault-prob=0.05] [--fault-seed=42]
+//               [--hlc=<nodes>] [--skew=<max>]
 //   chronos_gen --out=h.hist --workload=twitter|rubis|tpcc --txns=20000
+//               [--seed=N]
+//
+// Every history is reproducible from its command line: --seed drives the
+// workload's operation stream (each workload has its own default),
+// --fault-seed the injection coin flips, and the database's written
+// values are derived from a run-local counter.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "flags.h"
 #include "hist/codec.h"
 #include "workload/apps.h"
 #include "workload/generator.h"
 
 using namespace chronos;
 
-namespace {
-
-const char* FlagValue(int argc, char** argv, const char* name) {
-  size_t len = strlen(name);
-  for (int i = 1; i < argc; ++i) {
-    if (strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
-  }
-  return nullptr;
-}
-
-bool HasFlag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
-
-uint64_t U64Flag(int argc, char** argv, const char* name, uint64_t def) {
-  const char* v = FlagValue(argc, argv, name);
-  return v ? strtoull(v, nullptr, 10) : def;
-}
-
-double DoubleFlag(int argc, char** argv, const char* name, double def) {
-  const char* v = FlagValue(argc, argv, name);
-  return v ? atof(v) : def;
-}
-
-}  // namespace
+using namespace chronos::tools;
 
 int main(int argc, char** argv) {
   const char* out = FlagValue(argc, argv, "--out");
@@ -64,6 +43,18 @@ int main(int argc, char** argv) {
   if (HasFlag(argc, argv, "--ser")) {
     cfg.isolation = db::DbConfig::Isolation::kSer;
   }
+  cfg.fault_seed = U64Flag(argc, argv, "--fault-seed", cfg.fault_seed);
+  if (const char* hlc = FlagValue(argc, argv, "--hlc")) {
+    uint64_t nodes = strtoull(hlc, nullptr, 10);
+    if (nodes == 0 || nodes > 256) {
+      std::fprintf(stderr, "--hlc=%s: node count must be in [1, 256]\n", hlc);
+      return 2;
+    }
+    cfg.timestamping = db::DbConfig::Timestamping::kHlc;
+    cfg.hlc_nodes = static_cast<uint32_t>(nodes);
+    cfg.hlc_max_skew =
+        static_cast<int64_t>(U64Flag(argc, argv, "--skew", 0));
+  }
   if (const char* fault = FlagValue(argc, argv, "--fault")) {
     double p = DoubleFlag(argc, argv, "--fault-prob", 0.05);
     if (!strcmp(fault, "lost_update")) cfg.faults.lost_update_prob = p;
@@ -71,6 +62,7 @@ int main(int argc, char** argv) {
     else if (!strcmp(fault, "value")) cfg.faults.value_corruption_prob = p;
     else if (!strcmp(fault, "ts_swap")) cfg.faults.ts_swap_prob = p;
     else if (!strcmp(fault, "early_commit")) cfg.faults.early_commit_prob = p;
+    else if (!strcmp(fault, "late_start")) cfg.faults.late_start_prob = p;
     else if (!strcmp(fault, "session_reorder")) {
       cfg.faults.session_reorder_prob = p;
     } else {
@@ -102,14 +94,17 @@ int main(int argc, char** argv) {
   } else if (workload == "twitter") {
     workload::TwitterParams p;
     p.txns = txns;
+    p.seed = U64Flag(argc, argv, "--seed", p.seed);
     h = workload::GenerateTwitterHistory(p, cfg);
   } else if (workload == "rubis") {
     workload::RubisParams p;
     p.txns = txns;
+    p.seed = U64Flag(argc, argv, "--seed", p.seed);
     h = workload::GenerateRubisHistory(p, cfg);
   } else if (workload == "tpcc") {
     workload::TpccParams p;
     p.txns = txns;
+    p.seed = U64Flag(argc, argv, "--seed", p.seed);
     h = workload::GenerateTpccHistory(p, cfg);
   } else {
     std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());

@@ -49,6 +49,18 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Differential-fuzz smoke (fixed seed block, deterministic): 200 seeded
+# chaos scenarios through every checker plus a corpus replay. Any
+# unexplained cross-checker disagreement fails the build and leaves the
+# shrunk .repro under $BUILD_DIR/fuzz-smoke/.
+if [[ -x "$BUILD_DIR/chronos_fuzz" ]]; then
+  "$BUILD_DIR/chronos_fuzz" --seeds=200 --out-dir="$BUILD_DIR/fuzz-smoke"
+  "$BUILD_DIR/chronos_fuzz" --corpus=tests/corpus \
+                            --out-dir="$BUILD_DIR/fuzz-smoke"
+else
+  echo "chronos_fuzz not built (tools disabled); skipping fuzz smoke"
+fi
+
 # Bench smoke: minimal runtime, just proves the binaries execute.
 if [[ -x "$BUILD_DIR/bench_micro" ]]; then
   BENCH_MIN_TIME=0.01 \

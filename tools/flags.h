@@ -1,0 +1,43 @@
+// Minimal --flag=value parsing shared by the CLI tools (chronos_gen,
+// chronos_check, chronos_fuzz).
+#ifndef CHRONOS_TOOLS_FLAGS_H_
+#define CHRONOS_TOOLS_FLAGS_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <cstdint>
+
+namespace chronos::tools {
+
+inline const char* FlagValue(int argc, char** argv, const char* name) {
+  size_t len = strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+inline bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+inline uint64_t U64Flag(int argc, char** argv, const char* name,
+                        uint64_t def) {
+  const char* v = FlagValue(argc, argv, name);
+  return v ? strtoull(v, nullptr, 10) : def;
+}
+
+inline double DoubleFlag(int argc, char** argv, const char* name,
+                         double def) {
+  const char* v = FlagValue(argc, argv, name);
+  return v ? atof(v) : def;
+}
+
+}  // namespace chronos::tools
+
+#endif  // CHRONOS_TOOLS_FLAGS_H_
