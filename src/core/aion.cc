@@ -35,9 +35,16 @@ void Aion::Finish() { ingress_.Finish(); }
 
 void Aion::DispatchTxn(const KeyEngine::TxnCtx& ctx, ClassifiedOps&& ops,
                        bool register_reads, uint64_t now_ms) {
-  engine_.ProcessTxn(ctx, ops.ext_reads.data(), ops.ext_reads.size(),
-                     ops.writes.data(), ops.writes.size(), register_reads,
-                     now_ms);
+  KeyEngine::OpsView view;
+  view.reads = ops.ext_reads.data();
+  view.num_reads = ops.ext_reads.size();
+  view.writes = ops.writes.data();
+  view.num_writes = ops.writes.size();
+  view.list_reads = ops.list_reads.data();
+  view.num_list_reads = ops.list_reads.size();
+  view.appends = ops.appends.data();
+  view.num_appends = ops.appends.size();
+  engine_.ProcessTxn(ctx, view, register_reads, now_ms);
 }
 
 void Aion::DispatchFinalize(TxnId tid) { engine_.FinalizeTxn(tid); }

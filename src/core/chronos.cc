@@ -10,6 +10,7 @@
 #endif
 
 #include "core/event_timeline.h"
+#include "core/session_order.h"
 #include "core/small_map.h"
 
 namespace chronos {
@@ -23,19 +24,13 @@ struct TxnState {
   std::vector<Key> wkey;         // keys written (insertion order, unique)
 };
 
-// Session bookkeeping (last_sno / last_cts of Algorithm 2).
-struct SessionState {
-  int64_t last_sno = -1;
-  Timestamp last_cts = kTsMin;
-  // snos of transactions excluded from replay (Eq. (1) violations); the
-  // SESSION contiguity check skips over them instead of false-firing.
-  std::unordered_set<uint64_t> skipped_snos;
-};
-
 // Checks the INT axiom of one transaction in isolation. INT only depends
 // on program order, never on timestamps, so it is checked even for
-// transactions whose timestamps are malformed.
-void CheckIntOnly(const Transaction& t, ViolationSink* sink) {
+// transactions whose timestamps are malformed. Reports feed `counted`
+// too so CheckStats.violations stays equal to the sink total (the same
+// convention as ChronosList's CheckListIntOnly).
+void CheckIntOnly(const Transaction& t, ViolationSink* sink,
+                  CountingSink* counted) {
   SmallMap<Key, Value> int_val;
   for (const Op& op : t.ops) {
     if (op.type == OpType::kWrite) {
@@ -45,6 +40,7 @@ void CheckIntOnly(const Transaction& t, ViolationSink* sink) {
         if (*v != op.value) {
           sink->Report({ViolationType::kInt, t.tid, kTxnNone, op.key, *v,
                         op.value});
+          counted->Report({ViolationType::kInt, t.tid});
         }
         // Track the read value so later internal reads compare against it,
         // mirroring int_val semantics (last read-or-written value).
@@ -53,12 +49,6 @@ void CheckIntOnly(const Transaction& t, ViolationSink* sink) {
         int_val.Put(op.key, op.value);  // external read: EXT handled later
       }
     }
-  }
-}
-
-void AdvanceOverSkipped(SessionState* ss) {
-  while (ss->skipped_snos.erase(static_cast<uint64_t>(ss->last_sno + 1)) > 0) {
-    ++ss->last_sno;
   }
 }
 
@@ -76,26 +66,10 @@ CheckStats Chronos::Check(History&& history) {
   // ---- Pre-pass: Eq. (1) and duplicate-timestamp well-formedness. ----
   Stopwatch sw;
   std::unordered_map<SessionId, SessionState> sessions;
-  {
-    std::unordered_set<Timestamp> seen;
-    seen.reserve(history.txns.size() * 2);
-    for (const Transaction& t : history.txns) {
-      if (!t.TimestampsOrdered()) {
-        sink_->Report({ViolationType::kTsOrder, t.tid, kTxnNone, 0,
-                       static_cast<Value>(t.start_ts),
-                       static_cast<Value>(t.commit_ts)});
-        counted.Report({ViolationType::kTsOrder, t.tid});
-        CheckIntOnly(t, sink_);
-        sessions[t.sid].skipped_snos.insert(t.sno);
-        continue;
-      }
-      if (!seen.insert(t.start_ts).second ||
-          (t.commit_ts != t.start_ts && !seen.insert(t.commit_ts).second)) {
-        sink_->Report({ViolationType::kTsDuplicate, t.tid});
-        counted.Report({ViolationType::kTsDuplicate, t.tid});
-      }
-    }
-  }
+  WellFormednessPrePass(history, sink_, &counted, &sessions,
+                        [&](const Transaction& t) {
+                          CheckIntOnly(t, sink_, &counted);
+                        });
 
   // ---- Sorting stage (Algorithm 2 line 2). ----
   std::vector<Event> events = BuildSortedEvents(history);

@@ -1,53 +1,45 @@
 #include "core/chronos_list.h"
 
 #include <algorithm>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "core/event_timeline.h"
+#include "core/list_replay.h"
+#include "core/session_order.h"
 #include "core/small_map.h"
 
 namespace chronos {
 namespace {
 
-// The frontier of a list key is represented as a shared append-only
-// element sequence plus the committed prefix length. Capturing a
-// snapshot is O(1) (sequence pointer + length); commits append in place
-// unless a concurrent committer already extended the sequence, in which
-// case the committing transaction forks its own copy (rare: that is
-// exactly a NOCONFLICT violation).
-struct ListFrontier {
-  std::shared_ptr<std::vector<Value>> seq =
-      std::make_shared<std::vector<Value>>();
-  size_t committed_len = 0;
-};
-
-// Per-(transaction, key) state: the snapshot captured at first access
-// plus the transaction's own appends.
-struct ListState {
-  std::shared_ptr<std::vector<Value>> base_seq;
-  size_t base_len = 0;
-};
-
+// Per-transaction replay state: the shared list classification plus the
+// full append delta per key (what the commit event applies).
 struct ListTxnState {
-  SmallMap<Key, ListState> keys;
+  SmallMap<Key, ListAccess> access;
   SmallMap<Key, std::vector<Value>> appends;
-  std::vector<Key> wkey;
+  std::vector<Key> wkey;  // appended keys, first-append order
 };
 
-bool ObservationMatches(const ListState& st, const std::vector<Value>* appends,
-                        const std::vector<Value>& observed) {
-  size_t own = appends ? appends->size() : 0;
-  if (observed.size() != st.base_len + own) return false;
-  if (!std::equal(st.base_seq->begin(),
-                  st.base_seq->begin() + static_cast<long>(st.base_len),
-                  observed.begin())) {
-    return false;
+// INT is frontier-independent, so it is checked even for transactions
+// whose timestamps are malformed (mirrors CheckIntOnly for registers).
+void CheckListIntOnly(const Transaction& t, ViolationSink* sink,
+                      CountingSink* counted) {
+  SmallMap<Key, ListAccess> access;
+  for (const Op& op : t.ops) {
+    if (op.type == OpType::kAppend) {
+      access.FindOrInsert(op.key)->own.push_back(op.value);
+    } else if (op.type == OpType::kReadList) {
+      if (op.list_index >= t.list_args.size()) continue;
+      ListAccess* st = access.FindOrInsert(op.key);
+      ListReadOutcome oc = ClassifyListRead(st, t.list_args[op.list_index]);
+      if (oc.kind == ListReadOutcome::Kind::kIntMismatch) {
+        sink->Report({ViolationType::kInt, t.tid, kTxnNone, op.key,
+                      static_cast<Value>(oc.expected_len),
+                      static_cast<Value>(oc.got_len), oc.divergence});
+        counted->Report({ViolationType::kInt, t.tid});
+      }
+    }
   }
-  return own == 0 ||
-         std::equal(appends->begin(), appends->end(),
-                    observed.begin() + static_cast<long>(st.base_len));
 }
 
 }  // namespace
@@ -58,56 +50,50 @@ CheckStats ChronosList::Check(History&& history) {
   stats.ops = history.NumOps();
   CountingSink counted(0);
 
+  // ---- Pre-pass: Eq. (1) and duplicate-timestamp well-formedness
+  // (shared with the register Chronos, core/session_order.h). ----
   Stopwatch sw;
-  for (const Transaction& t : history.txns) {
-    if (!t.TimestampsOrdered()) {
-      sink_->Report({ViolationType::kTsOrder, t.tid, kTxnNone, 0,
-                     static_cast<Value>(t.start_ts),
-                     static_cast<Value>(t.commit_ts)});
-      counted.Report({ViolationType::kTsOrder, t.tid});
-    }
-  }
+  std::unordered_map<SessionId, SessionState> sessions;
+  WellFormednessPrePass(history, sink_, &counted, &sessions,
+                        [&](const Transaction& t) {
+                          CheckListIntOnly(t, sink_, &counted);
+                        });
   std::vector<Event> events = BuildSortedEvents(history);
   stats.sort_seconds = sw.Seconds();
   sw.Reset();
 
-  std::unordered_map<Key, ListFrontier> frontier;
+  // The frontier of a list key is its committed cumulative append
+  // sequence. Replay processes commit events in timestamp order, so the
+  // frontier only ever grows at the tail — the offline mirror of the
+  // online materialized-prefix chain (core/list_kv.h), and of what the
+  // database itself does (MvccStore::ApplyAppend merges by commit ts).
+  std::unordered_map<Key, std::vector<Value>> frontier;
   std::unordered_map<Key, std::vector<TxnId>> ongoing;
   std::unordered_map<TxnId, ListTxnState> live;
-  std::unordered_map<SessionId, std::pair<int64_t, Timestamp>> sessions;
-
-  auto state_for = [&](ListTxnState& st, Key k) -> ListState& {
-    if (ListState* s = st.keys.Find(k)) return *s;
-    ListFrontier& f = frontier[k];
-    ListState fresh;
-    fresh.base_seq = f.seq;
-    fresh.base_len = f.committed_len;
-    st.keys.Put(k, std::move(fresh));
-    return *st.keys.Find(k);
-  };
 
   for (const Event& ev : events) {
     Transaction& t = history.txns[ev.txn_index];
     if (ev.kind == EventKind::kStart) {
-      auto [sit, fresh] = sessions.emplace(t.sid, std::make_pair(-1, kTsMin));
-      (void)fresh;
-      if (static_cast<int64_t>(t.sno) != sit->second.first + 1 ||
-          t.start_ts < sit->second.second) {
+      // SESSION (same contiguity-with-skips rule as register Chronos).
+      SessionState& ss = sessions[t.sid];
+      AdvanceOverSkipped(&ss);
+      if (static_cast<int64_t>(t.sno) != ss.last_sno + 1 ||
+          t.start_ts < ss.last_cts) {
         sink_->Report({ViolationType::kSession, t.tid, kTxnNone, 0,
-                       static_cast<Value>(sit->second.first + 1),
+                       static_cast<Value>(ss.last_sno + 1),
                        static_cast<Value>(t.sno)});
         counted.Report({ViolationType::kSession, t.tid});
       }
-      sit->second = {static_cast<int64_t>(t.sno), t.commit_ts};
+      ss.last_sno = static_cast<int64_t>(t.sno);
+      ss.last_cts = t.commit_ts;
 
       ListTxnState& st = live[t.tid];
       for (const Op& op : t.ops) {
         if (op.type == OpType::kAppend) {
-          state_for(st, op.key);
+          st.access.FindOrInsert(op.key)->own.push_back(op.value);
           std::vector<Value>* pending = st.appends.Find(op.key);
           if (!pending) {
-            st.appends.Put(op.key, {});
-            pending = st.appends.Find(op.key);
+            pending = st.appends.FindOrInsert(op.key);
             st.wkey.push_back(op.key);
           }
           pending->push_back(op.value);
@@ -116,18 +102,27 @@ CheckStats ChronosList::Check(History&& history) {
             og.push_back(t.tid);
           }
         } else if (op.type == OpType::kReadList) {
-          bool first_access = st.keys.Find(op.key) == nullptr;
-          ListState& ls = state_for(st, op.key);
+          if (op.list_index >= t.list_args.size()) continue;
           const std::vector<Value>& observed = t.list_args[op.list_index];
-          if (!ObservationMatches(ls, st.appends.Find(op.key), observed)) {
-            size_t own =
-                st.appends.Find(op.key) ? st.appends.Find(op.key)->size() : 0;
-            ViolationType vt =
-                first_access ? ViolationType::kExt : ViolationType::kInt;
-            sink_->Report({vt, t.tid, kTxnNone, op.key,
-                           static_cast<Value>(ls.base_len + own),
-                           static_cast<Value>(observed.size())});
-            counted.Report({vt, t.tid});
+          ListReadOutcome oc =
+              ClassifyListRead(st.access.FindOrInsert(op.key), observed);
+          if (oc.kind == ListReadOutcome::Kind::kIntMismatch) {
+            sink_->Report({ViolationType::kInt, t.tid, kTxnNone, op.key,
+                           static_cast<Value>(oc.expected_len),
+                           static_cast<Value>(oc.got_len), oc.divergence});
+            counted.Report({ViolationType::kInt, t.tid});
+          } else if (oc.kind == ListReadOutcome::Kind::kResolvedBase) {
+            // EXT: the resolved base must equal the committed cumulative
+            // sequence at this transaction's snapshot. All ops replay at
+            // the start event, so the frontier *is* the snapshot.
+            const std::vector<Value>& snap = frontier[op.key];
+            int64_t div = FirstListDivergence(snap, oc.resolved);
+            if (div >= 0) {
+              sink_->Report({ViolationType::kExt, t.tid, kTxnNone, op.key,
+                             static_cast<Value>(snap.size()),
+                             static_cast<Value>(oc.resolved.size()), div});
+              counted.Report({ViolationType::kExt, t.tid});
+            }
           }
         }
       }
@@ -142,23 +137,9 @@ CheckStats ChronosList::Check(History&& history) {
           sink_->Report({ViolationType::kNoConflict, t.tid, other, k});
           counted.Report({ViolationType::kNoConflict, t.tid});
         }
-        ListState* ls = st.keys.Find(k);
         const std::vector<Value>& appends = *st.appends.Find(k);
-        ListFrontier& f = frontier[k];
-        if (f.seq == ls->base_seq && f.seq->size() == ls->base_len) {
-          // Common case: nobody extended the sequence since the snapshot;
-          // append in place.
-          f.seq->insert(f.seq->end(), appends.begin(), appends.end());
-        } else {
-          // Conflict already reported above: fork base ++ appends so the
-          // paper's frontier semantics are preserved exactly.
-          auto forked = std::make_shared<std::vector<Value>>(
-              ls->base_seq->begin(),
-              ls->base_seq->begin() + static_cast<long>(ls->base_len));
-          forked->insert(forked->end(), appends.begin(), appends.end());
-          f.seq = std::move(forked);
-        }
-        f.committed_len = ls->base_len + appends.size();
+        std::vector<Value>& f = frontier[k];
+        f.insert(f.end(), appends.begin(), appends.end());
       }
       live.erase(lit);
       t.ops.clear();

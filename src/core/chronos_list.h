@@ -11,10 +11,13 @@
 
 namespace chronos {
 
-/// Offline SI checker for list histories. Mismatching list reads are
-/// reported with `expected`/`got` set to the respective list lengths
-/// (full contents are unbounded; lengths identify the divergence point
-/// for diagnostics).
+/// Offline SI checker for list histories. The frontier of a key is its
+/// committed cumulative append sequence in commit-timestamp order (the
+/// offline mirror of the online materialized-prefix chain). List reads
+/// classify through the shared replay helper (core/list_replay.h) so the
+/// INT/EXT taxonomy matches AION's exactly; mismatches are reported with
+/// `expected`/`got` set to the respective list lengths plus
+/// `Violation::divergence`, the first divergent element index.
 class ChronosList {
  public:
   explicit ChronosList(ViolationSink* sink) : sink_(sink) {}

@@ -3,12 +3,54 @@
 #include <algorithm>
 #include <optional>
 
+#include "core/list_replay.h"
+
 namespace chronos {
 namespace {
 
 constexpr size_t kEpochCacheCap = 4;
 
+// Flip bookkeeping shared by register and list re-checks (the two
+// tentative-verdict states carry the same satisfied/flips fields).
+template <typename ReadState>
+void UpdateTentativeVerdict(ReadState& s, bool now_satisfied, TxnId rtid,
+                            uint64_t now_ms, FlipFlopStats* flips,
+                            CheckerStats* stats) {
+  ++stats->ext_rechecks;
+  if (now_satisfied != s.satisfied) {
+    flips->RecordFlip(rtid, now_ms - s.last_change_ms);
+    ++s.flips;
+    s.satisfied = now_satisfied;
+    s.last_change_ms = now_ms;
+  }
+}
+
 }  // namespace
+
+template <typename Fn>
+void KeyEngine::WalkAffectedReaders(const ReaderChain& readers, Timestamp cts,
+                                    const std::optional<Timestamp>& upper,
+                                    TxnId writer, Fn&& fn) {
+  const bool ser = options_.mode == CheckMode::kSer;
+  auto view_lt = [](const ReaderRef& r, Timestamp ts) {
+    return r.view_ts < ts;
+  };
+  auto view_gt = [](Timestamp ts, const ReaderRef& r) {
+    return ts < r.view_ts;
+  };
+  auto begin = ser ? std::upper_bound(readers.begin(), readers.end(), cts,
+                                      view_gt)
+                   : std::lower_bound(readers.begin(), readers.end(), cts,
+                                      view_lt);
+  for (auto it = begin; it != readers.end(); ++it) {
+    if (upper && it->view_ts > *upper) break;
+    auto tit = local_txns_.find(it->tid);
+    if (tit == local_txns_.end()) continue;
+    if (tit->second.finalized) continue;  // Algorithm 3 line 40
+    if (it->tid == writer) continue;
+    fn(*it, tit->second);
+  }
+}
 
 KeyEngine::KeyEngine(const Options& options, CheckerStats* stats,
                      FlipFlopStats* flips, ReportFn report)
@@ -18,10 +60,8 @@ KeyEngine::KeyEngine(const Options& options, CheckerStats* stats,
       report_(std::move(report)),
       spill_(options.spill_dir) {}
 
-void KeyEngine::ProcessTxn(const TxnCtx& ctx, const ExtReadReq* reads,
-                           size_t num_reads, const WriteReq* writes,
-                           size_t num_writes, bool register_reads,
-                           uint64_t now_ms) {
+void KeyEngine::ProcessTxn(const TxnCtx& ctx, const OpsView& ops,
+                           bool register_reads, uint64_t now_ms) {
   const bool ser = options_.mode == CheckMode::kSer;
 
   // Step 1 (per-key half): tentative EXT verdict against the current
@@ -31,26 +71,37 @@ void KeyEngine::ProcessTxn(const TxnCtx& ctx, const ExtReadReq* reads,
   // that does not exist — but its writes below still go through Steps
   // 2-3 like any other arrival.
   LocalTxn* rec = nullptr;
-  if (register_reads && num_reads > 0) {
+  if (register_reads && ops.num_reads + ops.num_list_reads > 0) {
     rec = &local_txns_[ctx.tid];
     rec->view_ts = ctx.view_ts;
     rec->commit_ts = ctx.commit_ts;
-    rec->ext_reads.reserve(num_reads);
-    for (size_t i = 0; i < num_reads; ++i) {
-      VersionedKv::Lookup cur = LookupFrontier(reads[i].key, ctx.view_ts);
+    rec->ext_reads.reserve(ops.num_reads);
+    for (size_t i = 0; i < ops.num_reads; ++i) {
+      VersionedKv::Lookup cur = LookupFrontier(ops.reads[i].key, ctx.view_ts);
       ExtReadState er;
-      er.key = reads[i].key;
-      er.observed = reads[i].observed;
-      er.satisfied = (cur.value == reads[i].observed);
+      er.key = ops.reads[i].key;
+      er.observed = ops.reads[i].observed;
+      er.satisfied = (cur.value == ops.reads[i].observed);
       er.last_change_ms = now_ms;
       rec->ext_reads.push_back(er);
+    }
+    rec->list_reads.reserve(ops.num_list_reads);
+    for (size_t i = 0; i < ops.num_list_reads; ++i) {
+      ListReadState lr;
+      lr.key = ops.list_reads[i].key;
+      lr.observed = ops.list_reads[i].observed;
+      lr.satisfied =
+          EvaluateListRead(lr.key, ctx.view_ts, lr.observed).satisfied;
+      lr.last_change_ms = now_ms;
+      rec->list_reads.push_back(std::move(lr));
     }
   }
 
   // Register the reads before installing this transaction's versions so
   // that Step-3 re-checking can find them (its own reads are never in
   // the affected range: an SI read view precedes its own commit and SER
-  // readers see strictly earlier versions only).
+  // readers see strictly earlier versions only; the re-check loops skip
+  // the writer's own tid).
   if (rec) {
     if (commit_index_.empty() || ctx.commit_ts > commit_index_.back().first) {
       commit_index_.emplace_back(ctx.commit_ts, ctx.tid);
@@ -60,8 +111,9 @@ void KeyEngine::ProcessTxn(const TxnCtx& ctx, const ExtReadReq* reads,
           [](const auto& p, Timestamp ts) { return p.first < ts; });
       commit_index_.insert(pos, {ctx.commit_ts, ctx.tid});
     }
-    for (uint32_t i = 0; i < rec->ext_reads.size(); ++i) {
-      ReaderChain& chain = reader_index_[rec->ext_reads[i].key];
+    auto register_ref = [&](std::unordered_map<Key, ReaderChain>* index,
+                            Key key, uint32_t i) {
+      ReaderChain& chain = (*index)[key];
       ReaderRef ref{ctx.view_ts, ctx.tid, i};
       if (chain.empty() || ctx.view_ts > chain.back().view_ts) {
         chain.push_back(ref);  // common: views arrive in near-ts order
@@ -71,20 +123,53 @@ void KeyEngine::ProcessTxn(const TxnCtx& ctx, const ExtReadReq* reads,
             [](const ReaderRef& r, Timestamp ts) { return r.view_ts < ts; });
         chain.insert(pos, ref);
       }
+    };
+    for (uint32_t i = 0; i < rec->ext_reads.size(); ++i) {
+      register_ref(&reader_index_, rec->ext_reads[i].key, i);
+    }
+    for (uint32_t i = 0; i < rec->list_reads.size(); ++i) {
+      register_ref(&list_reader_index_, rec->list_reads[i].key, i);
     }
   }
 
   // Step 3 (per written key): install the version and re-check EXT for
   // affected readers.
-  for (size_t i = 0; i < num_writes; ++i) {
-    InstallVersionAndRecheck(ctx, writes[i].key, writes[i].value, now_ms);
+  for (size_t i = 0; i < ops.num_writes; ++i) {
+    InstallVersionAndRecheck(ctx, ops.writes[i].key, ops.writes[i].value,
+                             now_ms);
+  }
+  for (size_t i = 0; i < ops.num_appends; ++i) {
+    InstallAppendAndRecheck(ctx, ops.appends[i].key, ops.appends[i].delta,
+                            now_ms);
   }
 
-  // Step 2: NOCONFLICT against overlapping writers (SI only).
-  if (!ser && num_writes > 0) {
-    CheckNoConflict(ctx, writes, num_writes);
-    for (size_t i = 0; i < num_writes; ++i) {
-      ongoing_.Add(writes[i].key, ctx.start_ts, ctx.commit_ts, ctx.tid);
+  // Step 2: NOCONFLICT against overlapping writers (SI only; appends are
+  // writers of their key too, and a key both written and appended by the
+  // same transaction is checked and registered once).
+  if (!ser && ops.num_writes + ops.num_appends > 0) {
+    for (size_t i = 0; i < ops.num_writes; ++i) {
+      CheckNoConflictKey(ctx, ops.writes[i].key);
+    }
+    // One pass decides which appended keys the write loop already
+    // covered; checks run before any interval registration (above).
+    std::vector<bool> append_written(ops.num_appends, false);
+    for (size_t i = 0; i < ops.num_appends; ++i) {
+      for (size_t w = 0; w < ops.num_writes; ++w) {
+        if (ops.writes[w].key == ops.appends[i].key) {
+          append_written[i] = true;
+          break;
+        }
+      }
+      if (!append_written[i]) CheckNoConflictKey(ctx, ops.appends[i].key);
+    }
+    for (size_t i = 0; i < ops.num_writes; ++i) {
+      ongoing_.Add(ops.writes[i].key, ctx.start_ts, ctx.commit_ts, ctx.tid);
+    }
+    for (size_t i = 0; i < ops.num_appends; ++i) {
+      if (!append_written[i]) {
+        ongoing_.Add(ops.appends[i].key, ctx.start_ts, ctx.commit_ts,
+                     ctx.tid);
+      }
     }
   }
 }
@@ -138,7 +223,6 @@ VersionedKv::Lookup KeyEngine::LookupSpilled(Key key, Timestamp view) {
 
 void KeyEngine::InstallVersionAndRecheck(const TxnCtx& ctx, Key key,
                                          Value value, uint64_t now_ms) {
-  const bool ser = options_.mode == CheckMode::kSer;
   const Timestamp cts = ctx.commit_ts;
 
   // If an in-memory version at or after cts but at or below the watermark
@@ -160,7 +244,6 @@ void KeyEngine::InstallVersionAndRecheck(const TxnCtx& ctx, Key key,
 
   auto rit = reader_index_.find(key);
   if (rit == reader_index_.end()) return;
-  const ReaderChain& readers = rit->second;
 
   // Affected read views: SI sees versions with cts <= view, so the range
   // is [cts, next]; SER sees versions with cts < view, so it is (cts,
@@ -176,71 +259,183 @@ void KeyEngine::InstallVersionAndRecheck(const TxnCtx& ctx, Key key,
   // already used (the offender is never dispatched, divergence entry
   // D6), and once GC prunes the used-ts window a colliding straggler can
   // only shadow readers the watermark clamp already finalized — which
-  // the `finalized` check below skips.
-  auto view_lt = [](const ReaderRef& r, Timestamp ts) {
-    return r.view_ts < ts;
-  };
-  auto view_gt = [](Timestamp ts, const ReaderRef& r) {
-    return ts < r.view_ts;
-  };
-  auto begin = ser ? std::upper_bound(readers.begin(), readers.end(), cts,
-                                      view_gt)
-                   : std::lower_bound(readers.begin(), readers.end(), cts,
-                                      view_lt);
-  for (auto it = begin; it != readers.end(); ++it) {
-    if (next && it->view_ts > *next) break;
-    auto tit = local_txns_.find(it->tid);
-    if (tit == local_txns_.end()) continue;
-    LocalTxn& reader = tit->second;
-    if (reader.finalized) continue;  // Algorithm 3 line 40
-    if (it->tid == ctx.tid) continue;
-    const TxnId rtid = it->tid;
-    ExtReadState& er = reader.ext_reads[it->read_idx];
-    bool now_satisfied = (er.observed == value);
-    ++stats_->ext_rechecks;
-    if (now_satisfied != er.satisfied) {
-      flip_stats_->RecordFlip(rtid, now_ms - er.last_change_ms);
-      ++er.flips;
-      er.satisfied = now_satisfied;
-      er.last_change_ms = now_ms;
+  // the walk's `finalized` check skips.
+  WalkAffectedReaders(
+      rit->second, cts, next, ctx.tid,
+      [&](const ReaderRef& ref, LocalTxn& reader) {
+        ExtReadState& er = reader.ext_reads[ref.read_idx];
+        UpdateTentativeVerdict(er, er.observed == value, ref.tid, now_ms,
+                               flip_stats_, stats_);
+      });
+}
+
+template <typename Fn>
+void KeyEngine::ForEachSpilledListVersion(Key key, Fn&& fn) {
+  for (uint64_t id : spill_epochs_) {
+    SpillPayload scratch;
+    const SpillPayload* p = LoadEpoch(id, &scratch);
+    if (!p) continue;
+    for (const ListSpillVersion& lv : p->list_versions) {
+      if (lv.key == key) fn(lv);
     }
   }
 }
 
-void KeyEngine::CheckNoConflict(const TxnCtx& ctx, const WriteReq* writes,
-                                size_t num_writes) {
-  // `writes` already carries each written key once, in first-write op
-  // order (the ingress deduplicated).
-  for (size_t i = 0; i < num_writes; ++i) {
-    const Key key = writes[i].key;
-    ++stats_->noconflict_checks;
-    for (const WriteInterval& iv :
-         ongoing_.Overlapping(key, ctx.start_ts, ctx.commit_ts)) {
-      if (iv.tid == ctx.tid) continue;
-      // Attribute the conflict to the earlier committer (paper's
-      // deduplication rule).
-      TxnId first = iv.end < ctx.commit_ts ? iv.tid : ctx.tid;
-      TxnId second = first == iv.tid ? ctx.tid : iv.tid;
-      report_(std::min(iv.end, ctx.commit_ts),
-              {ViolationType::kNoConflict, first, second, key});
+std::vector<std::pair<Timestamp, std::vector<Value>>>
+KeyEngine::SpilledListDeltas(Key key) {
+  std::vector<std::pair<Timestamp, std::vector<Value>>> out;
+  ForEachSpilledListVersion(key, [&](const ListSpillVersion& lv) {
+    out.emplace_back(lv.ts, lv.delta);
+  });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<std::pair<Timestamp, size_t>> KeyEngine::SpilledListLens(
+    Key key) {
+  // Placement offsets only need boundary lengths, not element payloads.
+  std::vector<std::pair<Timestamp, size_t>> out;
+  ForEachSpilledListVersion(key, [&](const ListSpillVersion& lv) {
+    out.emplace_back(lv.ts, lv.delta.size());
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+KeyEngine::ListEval KeyEngine::EvaluateListRead(
+    Key key, Timestamp view, const std::vector<Value>& observed) {
+  // SI evaluates at ts <= view — except that a version at exactly
+  // ts == view can only be the reading transaction's own append
+  // (timestamps are unique across transactions and the ingress dup-gate
+  // never dispatches a collision, so only a start==commit-stamped
+  // read-then-append transaction puts a version at its own read view).
+  // Its own delta is stripped from the resolved base (list_replay.h), so
+  // the evaluation must step to the predecessor — the list analogue of
+  // the self_stamped_rw fuzz finding for registers.
+  const bool inclusive = options_.mode == CheckMode::kSi;
+  ListEval ev;
+
+  // Below-base straggler view: the in-memory prefix is incomplete (the
+  // collapsed base absorbs everything at or below the watermark), so the
+  // cumulative sequence at the view must be reconstructed from the
+  // spilled boundaries plus any merged below-base stragglers.
+  Timestamp base_ts = lists_.BaseTs(key);
+  bool below_base = base_ts != kTsMin && base_ts <= watermark_ &&
+                    (inclusive ? view < base_ts : view <= base_ts);
+  if (below_base) {
+    if (!spill_.persistent()) {
+      ++stats_->unsafe_below_watermark;
+      // Deterministic best effort: no below-base content is resolvable.
+      ev.frontier_len = 0;
+      ev.satisfied = observed.empty();
+      ev.divergence = observed.empty() ? -1 : 0;
+      return ev;
     }
-    // Straggler below the watermark: evicted intervals may also overlap.
-    if (watermark_ != kTsMin && ctx.start_ts < watermark_) {
-      if (!spill_.persistent()) {
-        ++stats_->unsafe_below_watermark;
-      } else {
-        for (uint64_t id : spill_epochs_) {
-          SpillPayload scratch;
-          const SpillPayload* p = LoadEpoch(id, &scratch);
-          if (!p) continue;
-          for (const auto& [k, iv] : p->intervals) {
-            if (k != key || iv.tid == ctx.tid) continue;
-            if (iv.start <= ctx.commit_ts && iv.end >= ctx.start_ts) {
-              TxnId first = iv.end < ctx.commit_ts ? iv.tid : ctx.tid;
-              TxnId second = first == iv.tid ? ctx.tid : iv.tid;
-              report_(std::min(iv.end, ctx.commit_ts),
-                      {ViolationType::kNoConflict, first, second, key});
-            }
+    std::vector<std::pair<Timestamp, std::vector<Value>>> parts =
+        SpilledListDeltas(key);
+    if (const auto* merged = lists_.MergedBelow(key)) {
+      parts.insert(parts.end(), merged->begin(), merged->end());
+      std::sort(parts.begin(), parts.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    std::vector<Value> prefix;
+    for (const auto& [ts, delta] : parts) {
+      if (ts < view) {  // ts == view would be the reader's own delta
+        prefix.insert(prefix.end(), delta.begin(), delta.end());
+      }
+    }
+    ev.frontier_len = prefix.size();
+    ev.divergence = FirstListDivergence(prefix, observed);
+    ev.satisfied = ev.divergence < 0;
+    return ev;
+  }
+
+  ListKv::Prefix p = lists_.PrefixAt(key, view, inclusive);
+  if (inclusive && p.ts == view && p.ts != kTsMin) {
+    p = lists_.PrefixAt(key, view, /*inclusive=*/false);
+  }
+  ev.frontier_len = p.len;
+  ev.frontier_tid = p.tid;
+  ev.divergence = FirstListDivergence(p.data, p.len, observed.data(),
+                                      observed.size());
+  ev.satisfied = ev.divergence < 0;
+  return ev;
+}
+
+void KeyEngine::InstallAppendAndRecheck(const TxnCtx& ctx, Key key,
+                                        const std::vector<Value>& delta,
+                                        uint64_t now_ms) {
+  const Timestamp cts = ctx.commit_ts;
+
+  // Route a below-base straggler through the spill-informed merge path
+  // (ListKv invariant 4); otherwise a plain chain insert.
+  Timestamp base_ts = lists_.BaseTs(key);
+  bool ok;
+  if (base_ts != kTsMin && base_ts <= watermark_ && cts < base_ts) {
+    std::vector<std::pair<Timestamp, size_t>> spilled_lens;
+    if (!spill_.persistent()) {
+      ++stats_->unsafe_below_watermark;
+    } else {
+      spilled_lens = SpilledListLens(key);
+    }
+    ok = lists_.PutBelowBase(key, cts, delta, ctx.tid, spilled_lens);
+  } else {
+    ok = lists_.Put(key, cts, delta, ctx.tid);
+  }
+  if (!ok) {
+    report_(cts, {ViolationType::kTsDuplicate, ctx.tid, kTxnNone, key});
+    return;
+  }
+
+  // Appends compose rather than shadow: the installed delta changes the
+  // cumulative prefix of *every* read view at or after cts, so the
+  // re-check range has no NextVersionAfter upper bound (ListKv
+  // invariant 2). Finalized readers — everything at or below the
+  // watermark — are skipped, which bounds the walk to live readers; the
+  // writer's own read is skipped too (its own delta is not its base).
+  auto rit = list_reader_index_.find(key);
+  if (rit == list_reader_index_.end()) return;
+  WalkAffectedReaders(
+      rit->second, cts, std::nullopt, ctx.tid,
+      [&](const ReaderRef& ref, LocalTxn& reader) {
+        ListReadState& lr = reader.list_reads[ref.read_idx];
+        UpdateTentativeVerdict(
+            lr, EvaluateListRead(key, ref.view_ts, lr.observed).satisfied,
+            ref.tid, now_ms, flip_stats_, stats_);
+      });
+}
+
+void KeyEngine::CheckNoConflictKey(const TxnCtx& ctx, Key key) {
+  // The caller already deduplicated: each written/appended key is
+  // checked once, in first-access op order.
+  ++stats_->noconflict_checks;
+  for (const WriteInterval& iv :
+       ongoing_.Overlapping(key, ctx.start_ts, ctx.commit_ts)) {
+    if (iv.tid == ctx.tid) continue;
+    // Attribute the conflict to the earlier committer (paper's
+    // deduplication rule).
+    TxnId first = iv.end < ctx.commit_ts ? iv.tid : ctx.tid;
+    TxnId second = first == iv.tid ? ctx.tid : iv.tid;
+    report_(std::min(iv.end, ctx.commit_ts),
+            {ViolationType::kNoConflict, first, second, key});
+  }
+  // Straggler below the watermark: evicted intervals may also overlap.
+  if (watermark_ != kTsMin && ctx.start_ts < watermark_) {
+    if (!spill_.persistent()) {
+      ++stats_->unsafe_below_watermark;
+    } else {
+      for (uint64_t id : spill_epochs_) {
+        SpillPayload scratch;
+        const SpillPayload* p = LoadEpoch(id, &scratch);
+        if (!p) continue;
+        for (const auto& [k, iv] : p->intervals) {
+          if (k != key || iv.tid == ctx.tid) continue;
+          if (iv.start <= ctx.commit_ts && iv.end >= ctx.start_ts) {
+            TxnId first = iv.end < ctx.commit_ts ? iv.tid : ctx.tid;
+            TxnId second = first == iv.tid ? ctx.tid : iv.tid;
+            report_(std::min(iv.end, ctx.commit_ts),
+                    {ViolationType::kNoConflict, first, second, key});
           }
         }
       }
@@ -262,6 +457,18 @@ void KeyEngine::FinalizeTxn(TxnId tid) {
                               cur.value, er.observed});
     }
   }
+  for (const ListReadState& lr : rec.list_reads) {
+    flip_stats_->RecordPairDone(lr.flips);
+    if (!lr.satisfied) {
+      // Lengths + first divergent element index identify the mismatch;
+      // full contents are unbounded (same convention as ChronosList).
+      ListEval ev = EvaluateListRead(lr.key, rec.view_ts, lr.observed);
+      report_(rec.commit_ts,
+              {ViolationType::kExt, tid, ev.frontier_tid, lr.key,
+               static_cast<Value>(ev.frontier_len),
+               static_cast<Value>(lr.observed.size()), ev.divergence});
+    }
+  }
 }
 
 void KeyEngine::CollectUpTo(Timestamp watermark) {
@@ -269,6 +476,7 @@ void KeyEngine::CollectUpTo(Timestamp watermark) {
   payload.max_ts = watermark;
   versions_.CollectUpTo(watermark, &payload.versions);
   ongoing_.CollectUpTo(watermark, &payload.intervals);
+  lists_.CollectUpTo(watermark, &payload.list_versions);
   uint64_t id = spill_.Spill(payload);
   if (id != 0) spill_epochs_.push_back(id);
 
@@ -276,6 +484,7 @@ void KeyEngine::CollectUpTo(Timestamp watermark) {
   // Reader refs are batch-compacted per key afterwards: erasing each ref
   // individually would make a pass over a hot key's chain quadratic.
   std::unordered_map<Key, std::vector<Timestamp>> dropped_views;
+  std::unordered_map<Key, std::vector<Timestamp>> dropped_list_views;
   auto line_end = std::upper_bound(
       commit_index_.begin(), commit_index_.end(), watermark,
       [](Timestamp ts, const auto& p) { return ts < p.first; });
@@ -287,23 +496,31 @@ void KeyEngine::CollectUpTo(Timestamp watermark) {
         for (const ExtReadState& er : tit->second.ext_reads) {
           dropped_views[er.key].push_back(tit->second.view_ts);
         }
+        for (const ListReadState& lr : tit->second.list_reads) {
+          dropped_list_views[lr.key].push_back(tit->second.view_ts);
+        }
         local_txns_.erase(tit);
         return true;
       });
   commit_index_.erase(keep, line_end);
-  for (auto& [key, views] : dropped_views) {
-    auto rit = reader_index_.find(key);
-    if (rit == reader_index_.end()) continue;
-    std::sort(views.begin(), views.end());
-    ReaderChain& chain = rit->second;
-    chain.erase(std::remove_if(chain.begin(), chain.end(),
-                               [&](const ReaderRef& r) {
-                                 return std::binary_search(
-                                     views.begin(), views.end(), r.view_ts);
-                               }),
-                chain.end());
-    if (chain.empty()) reader_index_.erase(rit);
-  }
+  auto compact = [](std::unordered_map<Key, ReaderChain>* index,
+                    std::unordered_map<Key, std::vector<Timestamp>>* dropped) {
+    for (auto& [key, views] : *dropped) {
+      auto rit = index->find(key);
+      if (rit == index->end()) continue;
+      std::sort(views.begin(), views.end());
+      ReaderChain& chain = rit->second;
+      chain.erase(std::remove_if(chain.begin(), chain.end(),
+                                 [&](const ReaderRef& r) {
+                                   return std::binary_search(
+                                       views.begin(), views.end(), r.view_ts);
+                                 }),
+                  chain.end());
+      if (chain.empty()) index->erase(rit);
+    }
+  };
+  compact(&reader_index_, &dropped_views);
+  compact(&list_reader_index_, &dropped_list_views);
 
   watermark_ = std::max(watermark_, watermark);
 }

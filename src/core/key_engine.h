@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -24,6 +25,7 @@
 
 #include "core/flipflop_stats.h"
 #include "core/interval_tree.h"
+#include "core/list_kv.h"
 #include "core/online_checker.h"
 #include "core/spill.h"
 #include "core/types.h"
@@ -60,6 +62,36 @@ class KeyEngine {
     Value value = kValueInit;
   };
 
+  /// One external list read: the resolved base prefix (the observed list
+  /// minus the transaction's own append suffix; see core/list_replay.h)
+  /// that must equal the key's committed cumulative append sequence at
+  /// the read view.
+  struct ListReadReq {
+    Key key = 0;
+    std::vector<Value> observed;
+  };
+
+  /// One list append footprint (distinct keys, first-append op order,
+  /// carrying every element the transaction appended to the key).
+  struct AppendReq {
+    Key key = 0;
+    std::vector<Value> delta;
+  };
+
+  /// A transaction's full per-key footprint, passed as raw spans so the
+  /// monolith can point into ClassifiedOps and a sharded caller into the
+  /// per-shard command slices.
+  struct OpsView {
+    const ExtReadReq* reads = nullptr;
+    size_t num_reads = 0;
+    const WriteReq* writes = nullptr;
+    size_t num_writes = 0;
+    const ListReadReq* list_reads = nullptr;
+    size_t num_list_reads = 0;
+    const AppendReq* appends = nullptr;
+    size_t num_appends = 0;
+  };
+
   /// Violation reporting with a deterministic ordering tag: `order_ts`
   /// is the commit timestamp of the transaction the violation is
   /// attributed to, so a coordinator can merge-sort reports from
@@ -78,13 +110,12 @@ class KeyEngine {
 
   /// Runs the per-key steps of Algorithm 3 for one transaction, in the
   /// monolith's exact order: tentative EXT evaluation and registration
-  /// for `reads` (op order; skipped entirely when `register_reads` is
-  /// false — the replayed-tid case), version install + Step-3 re-check
-  /// per write, then Step-2 NOCONFLICT and interval registration (SI
-  /// only).
-  void ProcessTxn(const TxnCtx& ctx, const ExtReadReq* reads,
-                  size_t num_reads, const WriteReq* writes,
-                  size_t num_writes, bool register_reads, uint64_t now_ms);
+  /// for register and list reads (op order; skipped entirely when
+  /// `register_reads` is false — the replayed-tid case), version install
+  /// + Step-3 re-check per write and per append, then Step-2 NOCONFLICT
+  /// and interval registration (SI only; appends are writers too).
+  void ProcessTxn(const TxnCtx& ctx, const OpsView& ops, bool register_reads,
+                  uint64_t now_ms);
 
   /// Finalizes this engine's external reads of `tid` (EXT timeout fired):
   /// records flip totals and reports EXT violations for reads that ended
@@ -97,10 +128,15 @@ class KeyEngine {
   /// strictly increasing and safe (no unfinalized read view at or below).
   void CollectUpTo(Timestamp watermark);
 
-  /// Accounting (O(1), backed by running counters).
-  size_t TotalVersions() const { return versions_.TotalVersions(); }
+  /// Accounting (O(1), backed by running counters). Versions count both
+  /// register versions and list version boundaries.
+  size_t TotalVersions() const {
+    return versions_.TotalVersions() + lists_.TotalVersions();
+  }
   size_t TotalIntervals() const { return ongoing_.TotalIntervals(); }
-  size_t ApproxBytes() const { return versions_.ApproxBytes(); }
+  size_t ApproxBytes() const {
+    return versions_.ApproxBytes() + lists_.ApproxBytes();
+  }
   /// Transactions with external reads resident in this engine.
   size_t ResidentTxns() const { return local_txns_.size(); }
 
@@ -115,12 +151,21 @@ class KeyEngine {
     uint64_t last_change_ms = 0;
   };
 
+  struct ListReadState {
+    Key key = 0;
+    std::vector<Value> observed;  ///< resolved base prefix
+    bool satisfied = true;
+    uint32_t flips = 0;
+    uint64_t last_change_ms = 0;
+  };
+
   /// Per-engine record of a transaction's external reads on this
   /// engine's keys (the key-scoped slice of the monolith's TxnRec).
   struct LocalTxn {
     Timestamp view_ts = 0;
     Timestamp commit_ts = 0;
     std::vector<ExtReadState> ext_reads;
+    std::vector<ListReadState> list_reads;
     bool finalized = false;
   };
 
@@ -144,8 +189,40 @@ class KeyEngine {
 
   void InstallVersionAndRecheck(const TxnCtx& ctx, Key key, Value value,
                                 uint64_t now_ms);
-  void CheckNoConflict(const TxnCtx& ctx, const WriteReq* writes,
-                       size_t num_writes);
+  void InstallAppendAndRecheck(const TxnCtx& ctx, Key key,
+                               const std::vector<Value>& delta,
+                               uint64_t now_ms);
+  void CheckNoConflictKey(const TxnCtx& ctx, Key key);
+
+  /// The Step-3 walk shared by register and list re-checks: visits every
+  /// live (unfinalized, non-writer) reader of `readers` whose view lies
+  /// in the affected range — [cts, upper] for SI, (cts, upper] for SER,
+  /// unbounded above when `upper` is nullopt (lists: appends compose).
+  /// `fn(ref, reader)` re-evaluates one read.
+  template <typename Fn>
+  void WalkAffectedReaders(const ReaderChain& readers, Timestamp cts,
+                           const std::optional<Timestamp>& upper,
+                           TxnId writer, Fn&& fn);
+
+  /// Evaluates one external list read against the frontier at `view`
+  /// (cumulative committed append sequence), consulting the spill store
+  /// for views below the collapsed base.
+  struct ListEval {
+    bool satisfied = false;
+    size_t frontier_len = 0;
+    TxnId frontier_tid = kTxnNone;
+    int64_t divergence = -1;
+  };
+  ListEval EvaluateListRead(Key key, Timestamp view,
+                            const std::vector<Value>& observed);
+  /// Visits every spilled list version boundary of `key` (epoch order).
+  template <typename Fn>
+  void ForEachSpilledListVersion(Key key, Fn&& fn);
+  /// (ts, delta) of every spilled list version of `key`, sorted by ts.
+  std::vector<std::pair<Timestamp, std::vector<Value>>> SpilledListDeltas(
+      Key key);
+  /// Lengths-only variant for below-base placement offsets.
+  std::vector<std::pair<Timestamp, size_t>> SpilledListLens(Key key);
 
   Options options_;
   CheckerStats* stats_;
@@ -153,6 +230,7 @@ class KeyEngine {
   ReportFn report_;
 
   VersionedKv versions_;
+  ListKv lists_;
   OngoingIndex ongoing_;
   SpillStore spill_;
   std::vector<uint64_t> spill_epochs_;  // ids, in spill order
@@ -163,6 +241,10 @@ class KeyEngine {
   // (cts, tid) of resident local txns, sorted by cts (append-mostly).
   std::vector<std::pair<Timestamp, TxnId>> commit_index_;
   std::unordered_map<Key, ReaderChain> reader_index_;
+  // External list reads per key (same layout; read_idx indexes
+  // LocalTxn::list_reads). Kept separate from the register chain: a
+  // register write never affects a list read and vice versa.
+  std::unordered_map<Key, ReaderChain> list_reader_index_;
   Timestamp watermark_ = kTsMin;
 };
 

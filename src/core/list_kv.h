@@ -1,0 +1,279 @@
+// The timestamp-versioned list frontier: per key, a flat chain of append
+// versions (sorted by commit ts, append-mostly like VersionedKv) over one
+// shared materialized element buffer. The cumulative append sequence at a
+// read view is the buffer prefix ending at the latest version at or
+// before the view, so a whole-list read resolves to a (length, pointer)
+// pair in one binary search — the list analogue of the register
+// frontier_ts query.
+//
+// Frontier-resolution invariants (see ROADMAP "Online list checking"):
+//   1. elems[0 .. versions[i].end_off) is exactly the concatenation of
+//      every installed delta with ts <= versions[i].ts, in ts order.
+//   2. Installing a delta at ts affects the cumulative prefix of *every*
+//      view >= ts — appends compose rather than shadow, so there is no
+//      NextVersionAfter bound on list re-checks (unlike registers).
+//   3. GC collapses version boundaries at or below the watermark into the
+//      retained base version but never drops elements: a future reader
+//      above the watermark still needs the full prefix. Eviction returns
+//      the collapsed boundaries (ts, tid, delta) for spilling so a
+//      straggler below the watermark stays resolvable from disk.
+//   4. A straggler delta below the collapsed base is merged into the base
+//      region at the offset implied by ts order (computed by the caller
+//      from the spilled boundaries) and remembered in `merged_below`, so
+//      later stragglers and below-watermark reads see it.
+#ifndef CHRONOS_CORE_LIST_KV_H_
+#define CHRONOS_CORE_LIST_KV_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace chronos {
+
+/// One evicted list version boundary (spill record).
+struct ListSpillVersion {
+  Key key = 0;
+  Timestamp ts = kTsMin;
+  TxnId tid = kTxnNone;
+  std::vector<Value> delta;
+};
+
+class ListKv {
+ public:
+  /// One version boundary of a key's chain.
+  struct ListVersion {
+    Timestamp ts = kTsMin;
+    TxnId tid = kTxnNone;
+    uint32_t delta_len = 0;  ///< elements this version appended
+    size_t end_off = 0;      ///< cumulative length including this delta
+  };
+
+  /// Result of a frontier query: the cumulative prefix at the view.
+  struct Prefix {
+    size_t len = 0;          ///< 0 when no version qualifies
+    TxnId tid = kTxnNone;    ///< writer of the resolving version
+    Timestamp ts = kTsMin;   ///< its commit ts (kTsMin: no version)
+    const Value* data = nullptr;  ///< the key's element buffer (len valid)
+  };
+
+  /// Installs `delta` (the transaction's appends to `key`, in program
+  /// order) at commit ts. Returns false on a duplicate timestamp.
+  /// Precondition: ts is not below a collapsed base (use PutBelowBase).
+  bool Put(Key key, Timestamp ts, const std::vector<Value>& delta,
+           TxnId tid) {
+    Chain& chain = chains_[key];
+    if (chain.versions.empty() || ts > chain.versions.back().ts) {
+      // Common case: in-order commit, append at the tail.
+      chain.elems.insert(chain.elems.end(), delta.begin(), delta.end());
+      chain.versions.push_back({ts, tid, static_cast<uint32_t>(delta.size()),
+                                chain.elems.size()});
+    } else {
+      auto it = LowerBound(chain.versions, ts);
+      if (it != chain.versions.end() && it->ts == ts) return false;
+      size_t offset = it == chain.versions.begin()
+                          ? 0
+                          : (it - 1)->end_off;
+      InsertAt(&chain, it - chain.versions.begin(), offset, ts, tid, delta);
+    }
+    ++total_versions_;
+    total_elems_ += delta.size();
+    ArmTrigger(chain, key, ts);
+    return true;
+  }
+
+  /// Installs a straggler delta whose ts lies below the collapsed base.
+  /// `spilled_below` holds the (ts, delta length) of this key's spilled
+  /// version boundaries, sorted by ts (empty when spilling is disabled —
+  /// the delta then lands at the front of the base region, a documented
+  /// D7 approximation). Returns false on a ts collision with a merged
+  /// straggler. A collision with a *spilled* boundary is deliberately
+  /// not detected: by then GC has pruned the ingress used-ts window, so
+  /// the duplicate is silently ordered after the spilled delta — the
+  /// same policy as register stragglers (VersionedKv::Put only checks
+  /// in-memory versions), deterministic and covered by the D6 reasoning.
+  bool PutBelowBase(Key key, Timestamp ts, const std::vector<Value>& delta,
+                    TxnId tid,
+                    const std::vector<std::pair<Timestamp, size_t>>&
+                        spilled_below) {
+    (void)tid;  // merged boundaries are never re-attributed to a writer
+    Chain& chain = chains_[key];
+    size_t offset = 0;
+    for (const auto& [sts, slen] : spilled_below) {
+      if (sts <= ts) offset += slen;
+    }
+    for (const auto& [mts, mdelta] : chain.merged_below) {
+      if (mts == ts) return false;
+      if (mts < ts) offset += mdelta.size();
+    }
+    // Shift every version boundary (all of them sit at or above the
+    // base, whose region absorbs the delta).
+    for (ListVersion& v : chain.versions) v.end_off += delta.size();
+    chain.elems.insert(chain.elems.begin() + static_cast<long>(offset),
+                       delta.begin(), delta.end());
+    auto mit = std::lower_bound(
+        chain.merged_below.begin(), chain.merged_below.end(), ts,
+        [](const auto& m, Timestamp t) { return m.first < t; });
+    chain.merged_below.insert(mit, {ts, delta});
+    total_elems_ += delta.size();
+    return true;
+  }
+
+  /// The cumulative prefix at `view` (inclusive: versions with ts <=
+  /// view; exclusive: ts < view). len == 0 with ts == kTsMin means no
+  /// in-memory version qualifies — content below a collapsed base must
+  /// be reconstructed from the spill store (see invariant 3).
+  Prefix PrefixAt(Key key, Timestamp view, bool inclusive) const {
+    auto it = chains_.find(key);
+    if (it == chains_.end()) return Prefix{};
+    const Chain& chain = it->second;
+    if (!chain.versions.empty()) {
+      const ListVersion& back = chain.versions.back();
+      if (inclusive ? back.ts <= view : back.ts < view) {
+        return Prefix{back.end_off, back.tid, back.ts, chain.elems.data()};
+      }
+    }
+    auto vit = inclusive ? UpperBound(chain.versions, view)
+                         : LowerBound(chain.versions, view);
+    if (vit == chain.versions.begin()) return Prefix{};
+    --vit;
+    return Prefix{vit->end_off, vit->tid, vit->ts, chain.elems.data()};
+  }
+
+  /// Commit ts of the oldest in-memory version of `key` (kTsMin: none).
+  /// A ts below this and at or below the GC watermark is a below-base
+  /// straggler.
+  Timestamp BaseTs(Key key) const {
+    auto it = chains_.find(key);
+    if (it == chains_.end() || it->second.versions.empty()) return kTsMin;
+    return it->second.versions.front().ts;
+  }
+
+  /// Stragglers merged into the collapsed base region, sorted by ts
+  /// (nullptr when none) — needed to reconstruct below-watermark
+  /// prefixes alongside the spilled boundaries.
+  const std::vector<std::pair<Timestamp, std::vector<Value>>>* MergedBelow(
+      Key key) const {
+    auto it = chains_.find(key);
+    if (it == chains_.end() || it->second.merged_below.empty()) return nullptr;
+    return &it->second.merged_below;
+  }
+
+  /// Collapses version boundaries with ts <= `ts` into the retained base
+  /// (the latest qualifying version), appending the evicted boundaries
+  /// with their deltas to `evicted`. Elements are never dropped
+  /// (invariant 3). O(dirty) via the same lazy trigger heap as
+  /// VersionedKv. Returns the number of collapsed boundaries.
+  size_t CollectUpTo(Timestamp ts, std::vector<ListSpillVersion>* evicted) {
+    size_t n = 0;
+    std::unordered_set<Key> visited;
+    while (!gc_triggers_.empty() && gc_triggers_.top().first <= ts) {
+      Key key = gc_triggers_.top().second;
+      gc_triggers_.pop();
+      if (!visited.insert(key).second) continue;
+      auto it = chains_.find(key);
+      if (it == chains_.end()) continue;
+      Chain& chain = it->second;
+      auto end = UpperBound(chain.versions, ts);
+      if (end - chain.versions.begin() >= 2) {
+        --end;  // keep the latest version <= ts as the collapsed base
+        size_t removed = static_cast<size_t>(end - chain.versions.begin());
+        if (evicted) {
+          for (auto vit = chain.versions.begin(); vit != end; ++vit) {
+            ListSpillVersion rec;
+            rec.key = key;
+            rec.ts = vit->ts;
+            rec.tid = vit->tid;
+            rec.delta.assign(
+                chain.elems.begin() +
+                    static_cast<long>(vit->end_off - vit->delta_len),
+                chain.elems.begin() + static_cast<long>(vit->end_off));
+            evicted->push_back(std::move(rec));
+          }
+        }
+        chain.versions.erase(chain.versions.begin(), end);
+        total_versions_ -= removed;
+        n += removed;
+      }
+      if (chain.versions.size() >= 2) {
+        gc_triggers_.push({chain.versions[1].ts, key});
+      }
+    }
+    return n;
+  }
+
+  /// Live version boundaries across all keys. O(1).
+  size_t TotalVersions() const { return total_versions_; }
+  size_t NumKeys() const { return chains_.size(); }
+
+  /// Approximate heap footprint (materialized prefixes dominate). O(1).
+  size_t ApproxBytes() const {
+    return chains_.bucket_count() * sizeof(void*) +
+           chains_.size() * (sizeof(Chain) + 48) +
+           total_versions_ * sizeof(ListVersion) +
+           total_elems_ * sizeof(Value);
+  }
+
+ private:
+  struct Chain {
+    std::vector<ListVersion> versions;  // sorted by ts
+    std::vector<Value> elems;           // materialized cumulative prefix
+    // Below-base stragglers merged into the collapsed region (ts order).
+    std::vector<std::pair<Timestamp, std::vector<Value>>> merged_below;
+  };
+
+  struct TsOrder {
+    bool operator()(const ListVersion& v, Timestamp t) const {
+      return v.ts < t;
+    }
+    bool operator()(Timestamp t, const ListVersion& v) const {
+      return t < v.ts;
+    }
+  };
+  template <typename Vec>
+  static auto LowerBound(Vec& vec, Timestamp ts) -> decltype(vec.begin()) {
+    return std::lower_bound(vec.begin(), vec.end(), ts, TsOrder{});
+  }
+  template <typename Vec>
+  static auto UpperBound(Vec& vec, Timestamp ts) -> decltype(vec.begin()) {
+    return std::upper_bound(vec.begin(), vec.end(), ts, TsOrder{});
+  }
+
+  void InsertAt(Chain* chain, std::ptrdiff_t pos, size_t offset, Timestamp ts,
+                TxnId tid, const std::vector<Value>& delta) {
+    chain->elems.insert(chain->elems.begin() + static_cast<long>(offset),
+                        delta.begin(), delta.end());
+    for (auto it = chain->versions.begin() + pos; it != chain->versions.end();
+         ++it) {
+      it->end_off += delta.size();
+    }
+    chain->versions.insert(
+        chain->versions.begin() + pos,
+        {ts, tid, static_cast<uint32_t>(delta.size()), offset + delta.size()});
+  }
+
+  void ArmTrigger(const Chain& chain, Key key, Timestamp inserted_ts) {
+    if (chain.versions.size() >= 2 &&
+        (chain.versions.size() == 2 || inserted_ts <= chain.versions[1].ts)) {
+      gc_triggers_.push({chain.versions[1].ts, key});
+    }
+  }
+
+  std::unordered_map<Key, Chain> chains_;
+  size_t total_versions_ = 0;
+  size_t total_elems_ = 0;
+  // Same lazy-trigger invariant as VersionedKv: every key with >= 2
+  // versions has an entry with trigger <= its current versions[1].ts.
+  std::priority_queue<std::pair<Timestamp, Key>,
+                      std::vector<std::pair<Timestamp, Key>>, std::greater<>>
+      gc_triggers_;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_LIST_KV_H_

@@ -1,0 +1,70 @@
+// Shared SESSION-axiom bookkeeping (Algorithm 2 lines 7-10) and the
+// offline checkers' well-formedness pre-pass: the last-seen sequence
+// number and commit timestamp per session, the set of sequence numbers
+// excluded from replay (Eq. (1) violations) that the contiguity check
+// steps over instead of false-firing, and the Eq. (1) /
+// duplicate-timestamp scan itself. One definition serves Chronos,
+// ChronosList, and the online ingress so the skip and replay policies
+// cannot desynchronize between checkers the differ compares.
+#ifndef CHRONOS_CORE_SESSION_ORDER_H_
+#define CHRONOS_CORE_SESSION_ORDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/types.h"
+#include "core/violation.h"
+
+namespace chronos {
+
+struct SessionState {
+  int64_t last_sno = -1;
+  Timestamp last_cts = kTsMin;
+  /// snos of transactions excluded from replay; the SESSION contiguity
+  /// check skips over them instead of false-firing.
+  std::unordered_set<uint64_t> skipped_snos;
+};
+
+/// Advances last_sno across contiguously skipped sequence numbers.
+inline void AdvanceOverSkipped(SessionState* ss) {
+  while (ss->skipped_snos.erase(static_cast<uint64_t>(ss->last_sno + 1)) >
+         0) {
+    ++ss->last_sno;
+  }
+}
+
+/// The offline pre-pass shared by Chronos and ChronosList: Eq. (1)
+/// violations are reported, handed to `int_only` (INT never depends on
+/// timestamps) and excluded from replay via skipped_snos; duplicate
+/// timestamps across distinct transactions are reported but still
+/// replayed (AION instead skips them — divergence entry D6). SER has
+/// its own commit-only dup rule and does not use this.
+template <typename IntOnlyFn>
+void WellFormednessPrePass(
+    const History& history, ViolationSink* sink, CountingSink* counted,
+    std::unordered_map<SessionId, SessionState>* sessions,
+    IntOnlyFn&& int_only) {
+  std::unordered_set<Timestamp> seen;
+  seen.reserve(history.txns.size() * 2);
+  for (const Transaction& t : history.txns) {
+    if (!t.TimestampsOrdered()) {
+      sink->Report({ViolationType::kTsOrder, t.tid, kTxnNone, 0,
+                    static_cast<Value>(t.start_ts),
+                    static_cast<Value>(t.commit_ts)});
+      counted->Report({ViolationType::kTsOrder, t.tid});
+      int_only(t);
+      (*sessions)[t.sid].skipped_snos.insert(t.sno);
+      continue;
+    }
+    if (!seen.insert(t.start_ts).second ||
+        (t.commit_ts != t.start_ts && !seen.insert(t.commit_ts).second)) {
+      sink->Report({ViolationType::kTsDuplicate, t.tid});
+      counted->Report({ViolationType::kTsDuplicate, t.tid});
+    }
+  }
+}
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_SESSION_ORDER_H_

@@ -35,6 +35,14 @@ class SmallMap {
     entries_.emplace_back(key, std::move(value));
   }
 
+  /// The value for `key`, default-constructing it on first access (one
+  /// scan, unlike a Find/Put/Find sequence).
+  V* FindOrInsert(const K& key) {
+    if (V* v = Find(key)) return v;
+    entries_.emplace_back(key, V{});
+    return &entries_.back().second;
+  }
+
   void Clear() { entries_.clear(); }
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

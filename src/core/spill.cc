@@ -40,6 +40,14 @@ uint64_t SpillStore::Spill(const SpillPayload& payload) {
     ok = ok && WriteU64(f, k) && WriteU64(f, iv.start) &&
          WriteU64(f, iv.end) && WriteU64(f, iv.tid);
   }
+  ok = ok && WriteU64(f, payload.list_versions.size());
+  for (const ListSpillVersion& lv : payload.list_versions) {
+    ok = ok && WriteU64(f, lv.key) && WriteU64(f, lv.ts) &&
+         WriteU64(f, lv.tid) && WriteU64(f, lv.delta.size());
+    for (Value e : lv.delta) {
+      ok = ok && WriteU64(f, static_cast<uint64_t>(e));
+    }
+  }
   fclose(f);
   if (!ok) {
     std::error_code ec;
@@ -73,6 +81,21 @@ bool SpillStore::Load(uint64_t epoch_id, SpillPayload* out) const {
     uint64_t k, s, e, tid;
     ok = ReadU64(f, &k) && ReadU64(f, &s) && ReadU64(f, &e) && ReadU64(f, &tid);
     if (ok) out->intervals.emplace_back(k, WriteInterval{s, e, tid});
+  }
+  out->list_versions.clear();
+  uint64_t l = 0;
+  ok = ok && ReadU64(f, &l);
+  for (uint64_t i = 0; ok && i < l; ++i) {
+    ListSpillVersion lv;
+    uint64_t n_elems = 0;
+    ok = ReadU64(f, &lv.key) && ReadU64(f, &lv.ts) && ReadU64(f, &lv.tid) &&
+         ReadU64(f, &n_elems);
+    for (uint64_t j = 0; ok && j < n_elems; ++j) {
+      uint64_t e;
+      ok = ReadU64(f, &e);
+      if (ok) lv.delta.push_back(static_cast<Value>(e));
+    }
+    if (ok) out->list_versions.push_back(std::move(lv));
   }
   fclose(f);
   return ok;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/interval_tree.h"
+#include "core/list_kv.h"
 #include "core/types.h"
 #include "core/versioned_kv.h"
 
@@ -23,8 +24,13 @@ struct SpillPayload {
   Timestamp max_ts = kTsMin;  ///< all records have timestamps <= max_ts
   std::vector<std::tuple<Key, Timestamp, VersionEntry>> versions;
   std::vector<std::pair<Key, WriteInterval>> intervals;
+  /// Collapsed list version boundaries (ts, tid, delta) — what a
+  /// below-watermark straggler needs to place or resolve a list prefix.
+  std::vector<ListSpillVersion> list_versions;
 
-  bool Empty() const { return versions.empty() && intervals.empty(); }
+  bool Empty() const {
+    return versions.empty() && intervals.empty() && list_versions.empty();
+  }
 };
 
 /// Append-only store of GC epochs, one binary file per epoch. Not

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/list_replay.h"
 #include "core/small_map.h"
 
 namespace chronos {
@@ -11,6 +12,10 @@ void ClassifyOps(const Transaction& t, const KeyEngine::ReportFn& report,
                  ClassifiedOps* out) {
   SmallMap<Key, Value> int_val;
   SmallMap<Key, Value> ext_val;
+  // List replay state: register and list namespaces are independent (a
+  // key used both ways keeps two states; generated workloads never mix).
+  SmallMap<Key, ListAccess> list_state;
+  SmallMap<Key, std::vector<Value>> all_appends;  // full delta per key
   for (const Op& op : t.ops) {
     if (op.type == OpType::kRead) {
       if (Value* iv = int_val.Find(op.key)) {
@@ -30,11 +35,34 @@ void ClassifyOps(const Transaction& t, const KeyEngine::ReportFn& report,
         out->writes.push_back({op.key, op.value});
       }
       ext_val.Put(op.key, op.value);
+    } else if (op.type == OpType::kAppend) {
+      list_state.FindOrInsert(op.key)->own.push_back(op.value);
+      std::vector<Value>* delta = all_appends.Find(op.key);
+      if (!delta) {
+        delta = all_appends.FindOrInsert(op.key);
+        if (out) out->appends.push_back({op.key, {}});
+      }
+      delta->push_back(op.value);
+    } else if (op.type == OpType::kReadList) {
+      if (op.list_index >= t.list_args.size()) continue;  // malformed input
+      const std::vector<Value>& observed = t.list_args[op.list_index];
+      ListReadOutcome oc =
+          ClassifyListRead(list_state.FindOrInsert(op.key), observed);
+      if (oc.kind == ListReadOutcome::Kind::kIntMismatch) {
+        report(t.commit_ts,
+               {ViolationType::kInt, t.tid, kTxnNone, op.key,
+                static_cast<Value>(oc.expected_len),
+                static_cast<Value>(oc.got_len), oc.divergence});
+      } else if (oc.kind == ListReadOutcome::Kind::kResolvedBase && out) {
+        out->list_reads.push_back({op.key, std::move(oc.resolved)});
+      }
     }
   }
-  // writes must carry the *last* written value per key.
+  // writes must carry the *last* written value per key; appends carry
+  // the full concatenated delta.
   if (out) {
     for (auto& w : out->writes) w.value = *ext_val.Find(w.key);
+    for (auto& a : out->appends) a.delta = std::move(*all_appends.Find(a.key));
   }
 }
 
@@ -118,9 +146,7 @@ void TxnIngress::OnTransaction(const Transaction& t, uint64_t now_ms) {
 
 void TxnIngress::CheckSession(const Transaction& t) {
   SessionState& ss = sessions_[t.sid];
-  while (ss.skipped_snos.erase(static_cast<uint64_t>(ss.last_sno + 1)) > 0) {
-    ++ss.last_sno;
-  }
+  AdvanceOverSkipped(&ss);
   const bool ser = options_.mode == CheckMode::kSer;
   // SI: the next transaction of a session must start after the previous
   // one committed (strong session). SER: its commit must come later in

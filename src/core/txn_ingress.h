@@ -22,6 +22,7 @@
 
 #include "core/key_engine.h"
 #include "core/online_checker.h"
+#include "core/session_order.h"
 #include "core/types.h"
 
 namespace chronos {
@@ -29,10 +30,16 @@ namespace chronos {
 /// A transaction's per-key footprint, classified by INT replay:
 /// `ext_reads` holds the first read of each key not covered by an
 /// earlier internal op (op order); `writes` holds each written key once
-/// (first-write order) with the last value written to it.
+/// (first-write order) with the last value written to it. List
+/// operations classify the same way (core/list_replay.h): `list_reads`
+/// holds each key's resolved external base prefix (at most one per key,
+/// from its first consistent list read) and `appends` each appended key
+/// once (first-append order) with the transaction's full append delta.
 struct ClassifiedOps {
   std::vector<KeyEngine::ExtReadReq> ext_reads;
   std::vector<KeyEngine::WriteReq> writes;
+  std::vector<KeyEngine::ListReadReq> list_reads;
+  std::vector<KeyEngine::AppendReq> appends;
 };
 
 /// Replays `t`'s operations, reporting INT violations through `report`
@@ -88,12 +95,6 @@ class TxnIngress {
     Timestamp view_ts = 0;  // start_ts (SI) or commit_ts (SER)
     Timestamp commit_ts = 0;
     bool finalized = false;
-  };
-
-  struct SessionState {
-    int64_t last_sno = -1;
-    Timestamp last_cts = kTsMin;
-    std::unordered_set<uint64_t> skipped_snos;
   };
 
   void CheckSession(const Transaction& t);

@@ -35,18 +35,20 @@ std::string Violation::ToString() const {
   os << " key=" << key;
   if (expected != kValueBottom) os << " expected=" << expected;
   if (got != kValueBottom) os << " got=" << got;
+  if (divergence >= 0) os << " divergence=" << divergence;
   return os.str();
 }
 
 bool operator==(const Violation& a, const Violation& b) {
   return a.type == b.type && a.tid == b.tid && a.other_tid == b.other_tid &&
-         a.key == b.key && a.expected == b.expected && a.got == b.got;
+         a.key == b.key && a.expected == b.expected && a.got == b.got &&
+         a.divergence == b.divergence;
 }
 
 bool ViolationLess(const Violation& a, const Violation& b) {
   auto key = [](const Violation& v) {
     return std::make_tuple(static_cast<uint8_t>(v.type), v.tid, v.other_tid,
-                           v.key, v.expected, v.got);
+                           v.key, v.expected, v.got, v.divergence);
   };
   return key(a) < key(b);
 }

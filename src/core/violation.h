@@ -29,7 +29,10 @@ const char* ViolationTypeName(ViolationType t);
 /// One detected violation. `other_tid` is the conflicting transaction for
 /// NOCONFLICT (kTxnNone otherwise). For read-related violations `expected`
 /// is what a correct execution would have returned and `got` what the
-/// history recorded.
+/// history recorded. List-read mismatches report *lengths* in
+/// `expected`/`got` (full contents are unbounded) plus `divergence`, the
+/// first element index at which the expected and observed lists differ —
+/// that index is what makes a shrunk list repro diagnosable.
 struct Violation {
   ViolationType type = ViolationType::kExt;
   TxnId tid = 0;
@@ -37,6 +40,7 @@ struct Violation {
   Key key = 0;
   Value expected = kValueBottom;
   Value got = kValueBottom;
+  int64_t divergence = -1;  ///< list mismatches only; -1 otherwise
 
   std::string ToString() const;
 };

@@ -173,13 +173,29 @@ std::string DiffReport::Summary() const {
 }
 
 DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
-                       CleanExpectation expect, const std::string& work_dir) {
+                       CleanExpectation expect, const std::string& work_dir,
+                       const OverBudgetFn& over_budget) {
   namespace fs = std::filesystem;
   DiffReport report;
   report.expectation = expect;
 
-  const bool ser = sc.db.isolation == db::DbConfig::Isolation::kSer;
+  // List histories are SI-only throughout the tree (ChronosList has no
+  // SER mode and the scenario generator never pairs them); forcing SI
+  // here keeps a stray `--ser` replay of a list repro from comparing an
+  // SI offline reference against SER-mode online checkers.
   const bool list = sc.wl.list_mode || HasListOps(h);
+  const bool ser =
+      !list && sc.db.isolation == db::DbConfig::Isolation::kSer;
+
+  // Polled between checkers: once the caller's budget is spent, the
+  // remaining (more expensive) checkers are skipped and the report is
+  // marked timed_out, which suppresses every cross-check rule — a
+  // partial matrix must not fabricate disagreements.
+  auto budget_spent = [&]() {
+    if (report.timed_out) return true;
+    if (over_budget && over_budget()) report.timed_out = true;
+    return report.timed_out;
+  };
 
   // ---------------------------------------------------- offline checkers
   if (list) {
@@ -187,35 +203,41 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
     ChronosList::CheckHistory(h, &cl);
     report.checkers.push_back(FromCountingSink("chronos-list", cl));
 
-    CountingSink el;
-    baselines::BaselineResult elle =
-        baselines::CheckElleList(h, baselines::CheckLevel::kSi, &el);
-    CheckerReport er = FromCountingSink("elle-list", el);
-    er.detected = !elle.Accepted() || er.total > 0;
-    report.checkers.push_back(std::move(er));
+    if (!budget_spent()) {
+      CountingSink el;
+      baselines::BaselineResult elle =
+          baselines::CheckElleList(h, baselines::CheckLevel::kSi, &el);
+      CheckerReport er = FromCountingSink("elle-list", el);
+      er.detected = !elle.Accepted() || er.total > 0;
+      report.checkers.push_back(std::move(er));
+    }
   } else if (ser) {
     CountingSink cs;
     ChronosSer::CheckHistory(h, &cs);
     report.checkers.push_back(FromCountingSink("chronos", cs));
 
-    CountingSink es;
-    baselines::BaselineResult emme = baselines::CheckEmmeSer(h, &es);
-    CheckerReport er = FromCountingSink("emme", es);
-    er.detected = !emme.Accepted() || er.total > 0;
-    report.checkers.push_back(std::move(er));
+    if (!budget_spent()) {
+      CountingSink es;
+      baselines::BaselineResult emme = baselines::CheckEmmeSer(h, &es);
+      CheckerReport er = FromCountingSink("emme", es);
+      er.detected = !emme.Accepted() || er.total > 0;
+      report.checkers.push_back(std::move(er));
+    }
 
-    CountingSink ks;
-    baselines::BaselineResult elle =
-        baselines::CheckElleKv(h, baselines::CheckLevel::kSer, &ks);
-    CheckerReport kr = FromCountingSink("ellekv", ks);
-    kr.detected = !elle.Accepted() || kr.total > 0;
-    report.checkers.push_back(std::move(kr));
+    if (!budget_spent()) {
+      CountingSink ks;
+      baselines::BaselineResult elle =
+          baselines::CheckElleKv(h, baselines::CheckLevel::kSer, &ks);
+      CheckerReport kr = FromCountingSink("ellekv", ks);
+      kr.detected = !elle.Accepted() || kr.total > 0;
+      report.checkers.push_back(std::move(kr));
+    }
   } else {
     CountingSink cs;
     Chronos::CheckHistory(h, &cs);
     report.checkers.push_back(FromCountingSink("chronos", cs));
 
-    {
+    if (!budget_spent()) {
       ChronosOptions copt;
       copt.gc_every_n_txns = 50;
       CountingSink gs;
@@ -225,37 +247,44 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
       report.checkers.push_back(FromCountingSink("chronos-gc", gs));
     }
 
-    CountingSink es;
-    baselines::BaselineResult emme = baselines::CheckEmmeSi(h, &es);
-    CheckerReport er = FromCountingSink("emme", es);
-    er.detected = !emme.Accepted() || er.total > 0;
-    report.checkers.push_back(std::move(er));
-
-    CountingSink ks;
-    baselines::BaselineResult elle =
-        baselines::CheckElleKv(h, baselines::CheckLevel::kSi, &ks);
-    CheckerReport kr = FromCountingSink("ellekv", ks);
-    kr.detected = !elle.Accepted() || kr.total > 0;
-    report.checkers.push_back(std::move(kr));
-
-    CheckerReport pr;
-    pr.name = "polysi";
-    if (h.txns.size() <= kPolysiMaxTxns) {
-      CountingSink ps;
-      baselines::PolygraphResult poly = baselines::CheckPolySi(h, &ps);
-      pr.ran = true;
-      pr.detected =
-          poly.verdict == baselines::PolygraphResult::Verdict::kViolation ||
-          poly.anomalies > 0;
-      pr.total = pr.detected ? std::max<size_t>(poly.anomalies, 1) : 0;
+    if (!budget_spent()) {
+      CountingSink es;
+      baselines::BaselineResult emme = baselines::CheckEmmeSi(h, &es);
+      CheckerReport er = FromCountingSink("emme", es);
+      er.detected = !emme.Accepted() || er.total > 0;
+      report.checkers.push_back(std::move(er));
     }
-    report.checkers.push_back(std::move(pr));
+
+    if (!budget_spent()) {
+      CountingSink ks;
+      baselines::BaselineResult elle =
+          baselines::CheckElleKv(h, baselines::CheckLevel::kSi, &ks);
+      CheckerReport kr = FromCountingSink("ellekv", ks);
+      kr.detected = !elle.Accepted() || kr.total > 0;
+      report.checkers.push_back(std::move(kr));
+    }
+
+    {
+      CheckerReport pr;
+      pr.name = "polysi";
+      if (h.txns.size() <= kPolysiMaxTxns && !budget_spent()) {
+        CountingSink ps;
+        baselines::PolygraphResult poly = baselines::CheckPolySi(h, &ps);
+        pr.ran = true;
+        pr.detected =
+            poly.verdict == baselines::PolygraphResult::Verdict::kViolation ||
+            poly.anomalies > 0;
+        pr.total = pr.detected ? std::max<size_t>(poly.anomalies, 1) : 0;
+      }
+      report.checkers.push_back(std::move(pr));
+    }
   }
 
   // ----------------------------------------------------- online checkers
-  // AION only understands register operations; list histories are checked
-  // offline only (ChronosList is the tree's online-less list oracle).
-  if (!list) {
+  // Registers and lists alike: Aion and ShardedAion understand
+  // kAppend/kReadList natively (materialized-prefix frontier), so list
+  // histories run the full online matrix too.
+  if (!budget_spent()) {
     std::vector<hist::CollectedTxn> arrivals = BuildArrivals(h, sc);
     const std::string spill_root =
         (sc.spill && !work_dir.empty()) ? work_dir + "/spill" : "";
@@ -277,6 +306,7 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
       report.checkers.push_back(std::move(r));
     }
     for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+      if (budget_spent()) break;
       CheckerOptions o = opt;
       if (!spill_root.empty()) {
         o.spill_dir = spill_root + "/sh" + std::to_string(shards);
@@ -294,6 +324,10 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
     }
     if (!spill_root.empty()) fs::remove_all(spill_root);
   }
+
+  // A partial matrix (budget expired) must not run the cross-check
+  // rules: missing checkers would read as disagreements.
+  if (report.timed_out) return report;
 
   // ------------------------------------------------- cross-check rules
   auto disagree = [&](const char* rule, std::string detail,
@@ -318,10 +352,11 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
     }
   }
 
-  if (!list) {
+  {
     const CheckerReport* aion = report.Find("aion");
 
-    // Rule: AION's final counts equal Chronos's, class by class, in
+    // Rule: AION's final counts equal the white-box offline reference's
+    // (Chronos for registers, ChronosList for lists), class by class, in
     // strict scenarios. SESSION is boolean (entry D4); duplicate
     // timestamps suspend the class comparison (entry D6).
     if (sc.strict && ref && aion) {
@@ -331,7 +366,7 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
         if ((ref->Count(ViolationType::kTsDuplicate) > 0) !=
             (aion->Count(ViolationType::kTsDuplicate) > 0)) {
           disagree("aion-vs-chronos",
-                   "TS-DUP detection mismatch: chronos=" +
+                   "TS-DUP detection mismatch: " + ref->name + "=" +
                        std::to_string(
                            ref->Count(ViolationType::kTsDuplicate)) +
                        " aion=" +
@@ -345,8 +380,8 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
               ViolationType::kNoConflict, ViolationType::kTsOrder}) {
           if (ref->Count(t) != aion->Count(t)) {
             disagree("aion-vs-chronos",
-                     std::string(ViolationTypeName(t)) + ": chronos=" +
-                         std::to_string(ref->Count(t)) + " aion=" +
+                     std::string(ViolationTypeName(t)) + ": " + ref->name +
+                         "=" + std::to_string(ref->Count(t)) + " aion=" +
                          std::to_string(aion->Count(t)),
                      "aion");
           }
@@ -354,7 +389,7 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
         if ((ref->Count(ViolationType::kSession) > 0) !=
             (aion->Count(ViolationType::kSession) > 0)) {
           disagree("aion-vs-chronos",
-                   "SESSION detection mismatch: chronos=" +
+                   "SESSION detection mismatch: " + ref->name + "=" +
                        std::to_string(ref->Count(ViolationType::kSession)) +
                        " aion=" +
                        std::to_string(aion->Count(ViolationType::kSession)),
@@ -398,7 +433,8 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
       }
     }
 
-    // Rule: the two white-box offline checkers agree on the verdict.
+    // Rule: the two white-box offline checkers agree on the verdict
+    // (register histories only; Emme has no list mode).
     const CheckerReport* emme = report.Find("emme");
     if (ref && emme && emme->ran && ref->detected != emme->detected) {
       disagree("emme-vs-chronos",
@@ -434,7 +470,8 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
 }
 
 DiffReport RunDiffer(const FuzzScenario& sc, const std::string& work_dir,
-                     History* out_history, FaultCounts* out_injected) {
+                     History* out_history, FaultCounts* out_injected,
+                     const OverBudgetFn& over_budget) {
   db::Database database(sc.db);
   workload::RunDefaultWorkload(&database, sc.wl);
   History h = database.ExportHistory();
@@ -445,7 +482,7 @@ DiffReport RunDiffer(const FuzzScenario& sc, const std::string& work_dir,
   CleanExpectation expect = (injected.Total() == 0 && !skewed)
                                 ? CleanExpectation::kClean
                                 : CleanExpectation::kFaulty;
-  DiffReport report = DiffHistory(h, sc, expect, work_dir);
+  DiffReport report = DiffHistory(h, sc, expect, work_dir, over_budget);
   report.injected = injected;
   if (out_history) *out_history = std::move(h);
   if (out_injected) *out_injected = injected;

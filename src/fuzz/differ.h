@@ -2,7 +2,10 @@
 // through every checker in the tree — Aion, ShardedAion{1,2,8}, Chronos
 // (with and without periodic GC), Emme-SI/SER, ElleKV/ElleList, PolySI —
 // and cross-checks the verdicts against the fault-injection ground truth
-// and against each other.
+// and against each other. List histories run the full online matrix too
+// (Aion and ShardedAion understand kAppend/kReadList) with ChronosList
+// as the white-box reference and ElleList as the black-box one; the
+// register-only baselines (Emme, PolySI, Chronos) are gated out.
 //
 // Expected-divergence table. A disagreement is only reported when it is
 // NOT explained by one of these entries; each entry is exercised by at
@@ -42,6 +45,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -111,6 +115,10 @@ struct DiffReport {
   std::vector<Disagreement> disagreements;
   FaultCounts injected;
   CleanExpectation expectation = CleanExpectation::kUnknown;
+  /// The time budget expired mid-history: remaining checkers were
+  /// skipped and no cross-check rules ran (a partial matrix must not
+  /// fabricate disagreements). Callers treat the report as "not run".
+  bool timed_out = false;
 
   bool Clean() const { return disagreements.empty(); }
   bool HasRule(const std::string& rule) const;
@@ -119,18 +127,26 @@ struct DiffReport {
   std::string Summary() const;
 };
 
+/// Returns true when the caller's time budget is spent; polled between
+/// checkers inside DiffHistory so one long scenario (a 300-txn matrix
+/// pass, a PolySI CEGAR blowup) overshoots a --time-budget by at most
+/// one checker run instead of a whole seed.
+using OverBudgetFn = std::function<bool()>;
+
 /// Cross-checks an existing history under the scenario's checker knobs.
 /// `work_dir` hosts the spill stores when sc.spill is set (created and
 /// removed by the call); pass "" to disable spilling regardless.
 DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
-                       CleanExpectation expect, const std::string& work_dir);
+                       CleanExpectation expect, const std::string& work_dir,
+                       const OverBudgetFn& over_budget = {});
 
 /// Generates the scenario's history (database + workload + fault log)
 /// and diffs it. The history and ground truth are returned through the
 /// optional out-params for shrinking and .repro emission.
 DiffReport RunDiffer(const FuzzScenario& sc, const std::string& work_dir,
                      History* out_history = nullptr,
-                     FaultCounts* out_injected = nullptr);
+                     FaultCounts* out_injected = nullptr,
+                     const OverBudgetFn& over_budget = {});
 
 }  // namespace chronos::fuzz
 

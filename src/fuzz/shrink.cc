@@ -30,6 +30,40 @@ Transaction WithoutOps(const Transaction& t, size_t begin, size_t end) {
   return out;
 }
 
+// Rebuilds every transaction's list_args to hold exactly the payloads
+// its surviving kReadList ops reference, in op order, renumbering
+// Op::list_index to match. Applied to every candidate before the
+// predicate runs, so no reduction path — present or future — can leave
+// an index dangling into list_args or an orphaned payload behind:
+// downstream checkers (ChronosList, ElleList, the ingress) index
+// list_args unchecked, and orphaned payloads bloat the emitted .repro.
+// Ops whose index is already out of range are dropped outright (a
+// malformed read cannot be part of a faithful reduction).
+History CompactListArgs(History h) {
+  for (Transaction& t : h.txns) {
+    bool has_list_reads =
+        std::any_of(t.ops.begin(), t.ops.end(), [](const Op& op) {
+          return op.type == OpType::kReadList;
+        });
+    if (t.list_args.empty() && !has_list_reads) continue;
+    std::vector<std::vector<Value>> compacted;
+    std::vector<Op> kept_ops;
+    kept_ops.reserve(t.ops.size());
+    for (Op op : t.ops) {
+      if (op.type == OpType::kReadList) {
+        if (op.list_index >= t.list_args.size()) continue;
+        uint32_t idx = static_cast<uint32_t>(compacted.size());
+        compacted.push_back(t.list_args[op.list_index]);  // copy: an index
+        op.list_index = idx;  // may legally be referenced more than once
+      }
+      kept_ops.push_back(op);
+    }
+    t.ops = std::move(kept_ops);
+    t.list_args = std::move(compacted);
+  }
+  return h;
+}
+
 class Shrinker {
  public:
   Shrinker(History h, const FailurePredicate& fails,
@@ -41,8 +75,9 @@ class Shrinker {
   bool Accept(History&& candidate) {
     if (!Budget()) return false;
     ++calls_;
-    if (!fails_(candidate)) return false;
-    current_ = std::move(candidate);
+    History normalized = CompactListArgs(std::move(candidate));
+    if (!fails_(normalized)) return false;
+    current_ = std::move(normalized);
     return true;
   }
 

@@ -115,11 +115,20 @@ void ShardedAion::WorkerLoop(Shard* shard) {
 
 void ShardedAion::ExecuteCmd(Shard* shard, ShardCmd& cmd) {
   switch (cmd.kind) {
-    case ShardCmd::Kind::kTxn:
-      shard->engine->ProcessTxn(cmd.ctx, cmd.reads.data(), cmd.reads.size(),
-                                cmd.writes.data(), cmd.writes.size(),
-                                cmd.register_reads, cmd.now_ms);
+    case ShardCmd::Kind::kTxn: {
+      KeyEngine::OpsView view;
+      view.reads = cmd.reads.data();
+      view.num_reads = cmd.reads.size();
+      view.writes = cmd.writes.data();
+      view.num_writes = cmd.writes.size();
+      view.list_reads = cmd.list_reads.data();
+      view.num_list_reads = cmd.list_reads.size();
+      view.appends = cmd.appends.data();
+      view.num_appends = cmd.appends.size();
+      shard->engine->ProcessTxn(cmd.ctx, view, cmd.register_reads,
+                                cmd.now_ms);
       break;
+    }
     case ShardCmd::Kind::kFinalize:
       shard->engine->FinalizeTxn(cmd.ctx.tid);
       break;
@@ -134,7 +143,8 @@ void ShardedAion::DispatchTxn(const KeyEngine::TxnCtx& ctx,
                               uint64_t now_ms) {
   const size_t n = shards_.size();
   if (n == 1) {
-    if (register_reads && !ops.ext_reads.empty()) {
+    if (register_reads &&
+        (!ops.ext_reads.empty() || !ops.list_reads.empty())) {
       read_shard_mask_[ctx.tid] = 1;
     }
     ShardCmd cmd;
@@ -144,6 +154,8 @@ void ShardedAion::DispatchTxn(const KeyEngine::TxnCtx& ctx,
     cmd.now_ms = now_ms;
     cmd.reads = std::move(ops.ext_reads);
     cmd.writes = std::move(ops.writes);
+    cmd.list_reads = std::move(ops.list_reads);
+    cmd.appends = std::move(ops.appends);
     Append(0, std::move(cmd));
     return;
   }
@@ -172,10 +184,17 @@ void ShardedAion::DispatchTxn(const KeyEngine::TxnCtx& ctx,
   for (const KeyEngine::WriteReq& w : ops.writes) {
     slot_for(ShardOf(w.key)).writes.push_back(w);
   }
+  for (KeyEngine::ListReadReq& r : ops.list_reads) {
+    slot_for(ShardOf(r.key)).list_reads.push_back(std::move(r));
+  }
+  for (KeyEngine::AppendReq& a : ops.appends) {
+    slot_for(ShardOf(a.key)).appends.push_back(std::move(a));
+  }
 
   uint64_t read_mask = 0;
   for (uint32_t s : touched_) {
-    if (register_reads && !shards_[s]->pending[slot_[s]].reads.empty()) {
+    const ShardCmd& c = shards_[s]->pending[slot_[s]];
+    if (register_reads && (!c.reads.empty() || !c.list_reads.empty())) {
       read_mask |= 1ull << s;
     }
     slot_[s] = -1;  // reset for the next transaction

@@ -100,6 +100,8 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
     uint64_t now_ms = 0;
     std::vector<KeyEngine::ExtReadReq> reads;
     std::vector<KeyEngine::WriteReq> writes;
+    std::vector<KeyEngine::ListReadReq> list_reads;
+    std::vector<KeyEngine::AppendReq> appends;
   };
 
   struct TaggedViolation {

@@ -8,11 +8,13 @@
 #include <filesystem>
 #include <set>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/aion.h"
 #include "core/chronos.h"
+#include "core/chronos_list.h"
 #include "fuzz/corpus.h"
 #include "fuzz/differ.h"
 #include "fuzz/scenario.h"
@@ -155,6 +157,80 @@ TEST(CorpusTest, GcStragglerEntryDemonstratesD7) {
   (void)no_spill_total;
   EXPECT_GT(no_spill_unsafe, 0u)
       << "spill-less GC must count the straggler as unverifiable";
+}
+
+// Regression (list_self_stamped): under reordered arrival, a later
+// append to the key re-checks the self-stamped reader; the evaluation
+// must exclude the reader's own version (installed at exactly its view
+// timestamp) from the resolved-base comparison. The original fuzz
+// finding left a permanent false EXT here.
+TEST(CorpusTest, ListSelfStampedRecheckExcludesOwnVersion) {
+  Corpus corpus = LoadOrDie();
+  const CorpusEntry& entry = EntryOrDie(corpus, "list_self_stamped.repro");
+  ASSERT_EQ(entry.history.txns.size(), 3u);
+
+  // Deliver the middle appender (tid 2) last; the infinite timeout means
+  // every verdict finalizes against the full chain, so the history must
+  // come out clean in any session-preserving order.
+  std::vector<const Transaction*> arrival = {&entry.history.txns[0],
+                                             &entry.history.txns[2],
+                                             &entry.history.txns[1]};
+  CountingSink sink;
+  Aion::Options opt;
+  opt.ext_timeout_ms = 1u << 30;
+  Aion aion(opt, &sink);
+  uint64_t now = 0;
+  for (const Transaction* t : arrival) aion.OnTransaction(*t, now++);
+  aion.Finish();
+  EXPECT_EQ(sink.total(), 0u)
+      << "reordered arrival must not fabricate an EXT for the "
+         "self-stamped list reader";
+}
+
+// D7 for lists (list_gc_straggler): aggressive GC collapses the key-0
+// version boundaries below the straggler reader's view. With a spill
+// store the prefix reconstructs from the spilled deltas and the verdict
+// matches offline; without one the read is counted unverifiable.
+TEST(CorpusTest, ListGcStragglerEntryDemonstratesD7) {
+  Corpus corpus = LoadOrDie();
+  const CorpusEntry& entry = EntryOrDie(corpus, "list_gc_straggler.repro");
+  ASSERT_EQ(entry.history.txns.size(), 8u);
+
+  CountingSink offline;
+  ChronosList::CheckHistory(entry.history, &offline);
+  EXPECT_EQ(offline.total(), 0u);
+
+  auto run = [&](const std::string& spill_dir) {
+    CountingSink sink;
+    Aion::Options opt;
+    opt.ext_timeout_ms = 1;
+    opt.spill_dir = spill_dir;
+    Aion aion(opt, &sink);
+    uint64_t now = 0;
+    size_t since_gc = 0;
+    for (const Transaction& t : entry.history.txns) {
+      aion.OnTransaction(t, now++);
+      if (++since_gc >= 2) {
+        since_gc = 0;
+        aion.GcToLiveTarget(1);
+      }
+    }
+    aion.Finish();
+    return std::make_pair(sink.total(), aion.stats().unsafe_below_watermark);
+  };
+
+  std::string dir = ::testing::TempDir() + "/corpus_list_d7_spill";
+  std::filesystem::remove_all(dir);
+  auto [with_spill_total, with_spill_unsafe] = run(dir);
+  EXPECT_EQ(with_spill_total, 0u)
+      << "spilled list deltas must keep the straggler's prefix resolvable";
+  EXPECT_EQ(with_spill_unsafe, 0u);
+  std::filesystem::remove_all(dir);
+
+  auto [no_spill_total, no_spill_unsafe] = run("");
+  (void)no_spill_total;
+  EXPECT_GT(no_spill_unsafe, 0u)
+      << "spill-less GC must count the list straggler as unverifiable";
 }
 
 // D6: Chronos replays a duplicate-timestamp transaction (seeing its

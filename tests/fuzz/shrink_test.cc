@@ -51,6 +51,85 @@ TEST(ShrinkTest, NonFailingHistoryIsReturnedUnchanged) {
   EXPECT_EQ(r.predicate_calls, 0u);
 }
 
+// Every candidate a reduction produces must keep Op::list_index dense
+// and in-bounds: dropping a kReadList op compacts list_args and
+// renumbers the survivors. The predicate asserts the invariant on every
+// candidate it sees (op-removal, txn-removal, and compaction passes
+// alike), and the shrunk result keeps the surviving read's payload.
+TEST(ShrinkTest, ListArgsStayCompactDuringReduction) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2)
+                  .A(0, 1).L(0, {1}).A(0, 2).L(0, {1, 2})
+                  .Txn(2, 0, 1, 3, 4)
+                  .L(0, {1, 2}).A(1, 9).L(1, {9})
+                  .Build();
+
+  size_t checked = 0;
+  auto fails = [&](const History& c) {
+    for (const Transaction& t : c.txns) {
+      size_t referenced = 0;
+      for (const Op& op : t.ops) {
+        if (op.type != OpType::kReadList) continue;
+        ++referenced;
+        EXPECT_LT(op.list_index, t.list_args.size())
+            << "dangling list_index after a reduction";
+      }
+      EXPECT_EQ(t.list_args.size(), referenced)
+          << "orphaned list payload after a reduction";
+    }
+    ++checked;
+    // The failure being minimized: some read still observes [1, 2].
+    for (const Transaction& t : c.txns) {
+      for (const Op& op : t.ops) {
+        if (op.type == OpType::kReadList &&
+            op.list_index < t.list_args.size() &&
+            t.list_args[op.list_index] == std::vector<Value>({1, 2})) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  ShrinkResult r = ShrinkHistory(h, fails);
+  EXPECT_GT(checked, 2u);
+  EXPECT_LE(r.final_ops, 2u) << "the [1,2]-observing read (plus at most "
+                                "one supporting op) should survive";
+  bool found = false;
+  for (const Transaction& t : r.minimized.txns) {
+    for (const Op& op : t.ops) {
+      if (op.type == OpType::kReadList) {
+        ASSERT_LT(op.list_index, t.list_args.size());
+        found |= t.list_args[op.list_index] == std::vector<Value>({1, 2});
+      }
+    }
+    EXPECT_EQ(t.list_args.size(),
+              static_cast<size_t>(std::count_if(
+                  t.ops.begin(), t.ops.end(), [](const Op& op) {
+                    return op.type == OpType::kReadList;
+                  })));
+  }
+  EXPECT_TRUE(found);
+}
+
+// A hand-edited history with an orphaned payload (no op references it)
+// is compacted by the first accepted reduction rather than carried into
+// the emitted .repro.
+TEST(ShrinkTest, OrphanedListPayloadIsDropped) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).A(0, 1).L(0, {1})
+                  .Txn(2, 0, 1, 3, 4).A(0, 2)
+                  .Build();
+  h.txns[0].list_args.push_back({7, 8, 9});  // orphan: no op references it
+
+  auto fails = [](const History& c) {
+    return !c.txns.empty() && c.txns[0].ops.size() >= 2;
+  };
+  ShrinkResult r = ShrinkHistory(h, fails);
+  ASSERT_FALSE(r.minimized.txns.empty());
+  EXPECT_EQ(r.minimized.txns[0].list_args.size(), 1u)
+      << "the orphaned payload must be compacted away";
+}
+
 TEST(ShrinkTest, MinimizesPlantedIntViolation) {
   workload::WorkloadParams p;
   p.txns = 200;

@@ -7,10 +7,13 @@
 //                 [--shards=1]                        (online only)
 //                 [--gc-every=0] [--max-report=20]
 //
-// Offline mode runs CHRONOS; --online replays the history through AION
-// via the collector (delays model asynchrony). --shards=N checks with
-// the key-partitioned ShardedAion (N worker threads); violations are
-// then reported in deterministic (commit_ts, txn id) order.
+// Offline mode runs CHRONOS (--level=list: ChronosList); --online
+// replays the history through AION via the collector (delays model
+// asynchrony). AION understands list histories natively, so --online
+// works for every level (--level=list selects the SI read-view rule,
+// matching the list workloads). --shards=N checks with the
+// key-partitioned ShardedAion (N worker threads); violations are then
+// reported in deterministic (commit_ts, txn id) order.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -78,7 +81,7 @@ int main(int argc, char** argv) {
         U64Flag(argc, argv, "--delay-stddev", 0));
     auto stream = hist::ScheduleDelivery(h, cp);
     Aion::Options opt;
-    opt.mode = level == "ser" ? Aion::Mode::kSer : Aion::Mode::kSi;
+    opt.mode = level == "ser" ? Aion::Mode::kSer : Aion::Mode::kSi;  // list=si
     opt.ext_timeout_ms = U64Flag(argc, argv, "--timeout-ms", 5000);
     if (const char* spill = FlagValue(argc, argv, "--spill")) {
       opt.spill_dir = spill;

@@ -1,7 +1,7 @@
 // chronos_fuzz: differential fuzzing harness (see src/fuzz/).
 //
 //   chronos_fuzz [--seeds=200] [--seed-start=0] [--time-budget=0]
-//                [--out-dir=DIR] [--verbose]
+//                [--list-only] [--out-dir=DIR] [--verbose]
 //   chronos_fuzz --repro=FILE [--ser]
 //   chronos_fuzz --corpus=DIR
 //
@@ -16,6 +16,16 @@
 // only reproduce under their original knobs). --corpus replays a shrunk
 // regression corpus (tests/corpus) and validates its manifest pins
 // (Chronos per-class counts and the black-box verdict).
+//
+// --list-only keeps the seed->scenario map intact but runs only the
+// seeds whose scenario is a list workload — the CI list smoke walks a
+// bigger seed block at the same cost.
+//
+// --time-budget is also checked *between checkers inside a scenario*
+// (fuzz::OverBudgetFn): once spent, the remaining checkers of the
+// current seed are skipped, the partial report is discarded (no rules
+// ran), and the run stops — a long 300-txn matrix pass or a PolySI
+// CEGAR blowup overshoots by at most one checker run.
 //
 // Exit status: 0 all clean, 1 disagreements/mismatches, 2 usage error.
 #include <algorithm>
@@ -142,15 +152,30 @@ int main(int argc, char** argv) {
   const uint64_t seed_start = U64Flag(argc, argv, "--seed-start", 0);
   const uint64_t budget_s = U64Flag(argc, argv, "--time-budget", 0);
   const bool verbose = HasFlag(argc, argv, "--verbose");
+  const bool list_only = HasFlag(argc, argv, "--list-only");
 
   Stopwatch sw;
+  fuzz::OverBudgetFn over_budget;
+  if (budget_s > 0) {
+    over_budget = [&] {
+      return sw.Seconds() > static_cast<double>(budget_s);
+    };
+  }
   uint64_t ran = 0;
   std::vector<uint64_t> failing_seeds;
   for (uint64_t seed = seed_start; seed < seed_start + seeds; ++seed) {
     if (budget_s > 0 && sw.Seconds() > static_cast<double>(budget_s)) break;
     fuzz::FuzzScenario sc = fuzz::ScenarioFromSeed(seed);
+    if (list_only && !sc.wl.list_mode) continue;
     History h;
-    fuzz::DiffReport report = fuzz::RunDiffer(sc, work_dir, &h);
+    fuzz::DiffReport report =
+        fuzz::RunDiffer(sc, work_dir, &h, nullptr, over_budget);
+    if (report.timed_out) {
+      std::printf("time budget spent mid-seed %llu; partial matrix "
+                  "discarded\n",
+                  static_cast<unsigned long long>(seed));
+      break;
+    }
     ++ran;
     if (verbose) {
       std::printf("[%s]\n%s", sc.Describe().c_str(),

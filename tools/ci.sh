@@ -17,7 +17,7 @@ BUILD_DIR="${1:-build}"
 # The threaded test binaries TSan covers; extend when adding concurrent
 # suites (this list is the single source for local runs and CI).
 TSAN_TESTS=(batch_pipeline_test online_test sharded_aion_test
-            sharded_property_test)
+            sharded_property_test list_parity_test)
 
 run_tsan() {
   local tsan_dir="${BUILD_DIR}-tsan"
@@ -49,12 +49,16 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# Differential-fuzz smoke (fixed seed block, deterministic): 200 seeded
-# chaos scenarios through every checker plus a corpus replay. Any
-# unexplained cross-checker disagreement fails the build and leaves the
-# shrunk .repro under $BUILD_DIR/fuzz-smoke/.
+# Differential-fuzz smoke (fixed seed blocks, deterministic): 200 seeded
+# chaos scenarios through every checker, then a list-only pass over a
+# wider seed block (~10% of scenarios are list workloads, so this walks
+# ~60 list histories through the full online matrix at similar cost),
+# plus a corpus replay. Any unexplained cross-checker disagreement fails
+# the build and leaves the shrunk .repro under $BUILD_DIR/fuzz-smoke/.
 if [[ -x "$BUILD_DIR/chronos_fuzz" ]]; then
   "$BUILD_DIR/chronos_fuzz" --seeds=200 --out-dir="$BUILD_DIR/fuzz-smoke"
+  "$BUILD_DIR/chronos_fuzz" --seeds=600 --seed-start=1000 --list-only \
+                            --out-dir="$BUILD_DIR/fuzz-smoke"
   "$BUILD_DIR/chronos_fuzz" --corpus=tests/corpus \
                             --out-dir="$BUILD_DIR/fuzz-smoke"
 else
