@@ -71,6 +71,10 @@ class Aion : public OnlineChecker, private TxnIngress::Dispatch {
   /// Finalizes every outstanding transaction (end of stream).
   void Finish() override;
 
+  /// Trims list element buffers below the watermark to a prefix hash
+  /// (the --memory-ceiling degradation path; see OnlineChecker).
+  void ShedMemory() override { engine_.TrimListsBelowHorizon(); }
+
   const Stats& stats() const { return stats_; }
   const FlipFlopStats& flip_stats() const { return flip_stats_; }
   Footprint GetFootprint() const override;

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/state_io.h"
 #include "core/types.h"
 
 namespace chronos {
@@ -81,6 +82,12 @@ class IntervalTree {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Appends every stored interval to `out` in unspecified order
+  /// (checkpoint serialization; callers sort for determinism).
+  void CollectAllIntervals(std::vector<WriteInterval>* out) const {
+    CollectAll(root_.get(), out);
+  }
 
  private:
   struct Node {
@@ -269,6 +276,56 @@ class OngoingIndex {
 
   /// Live interval count. O(1).
   size_t TotalIntervals() const { return total_; }
+
+  /// Checkpoint hooks. The treap shapes and trigger heap are not
+  /// serialized: Deserialize re-Adds every interval (rebuilding both),
+  /// which preserves query results exactly — overlap answers depend
+  /// only on the interval set, not on treap priorities. Keys and
+  /// intervals are emitted sorted so the image is byte-deterministic.
+  void Serialize(StateWriter* w) const {
+    std::vector<Key> keys;
+    keys.reserve(trees_.size());
+    for (const auto& [k, tree] : trees_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w->U64(keys.size());
+    std::vector<WriteInterval> ivs;
+    for (Key k : keys) {
+      ivs.clear();
+      trees_.at(k).CollectAllIntervals(&ivs);
+      std::sort(ivs.begin(), ivs.end(),
+                [](const WriteInterval& a, const WriteInterval& b) {
+                  if (a.start != b.start) return a.start < b.start;
+                  if (a.tid != b.tid) return a.tid < b.tid;
+                  return a.end < b.end;
+                });
+      w->U64(k);
+      w->U64(ivs.size());
+      for (const WriteInterval& iv : ivs) {
+        w->U64(iv.start);
+        w->U64(iv.end);
+        w->U64(iv.tid);
+      }
+    }
+  }
+
+  bool Deserialize(StateReader* r) {
+    trees_.clear();
+    total_ = 0;
+    gc_triggers_ = {};
+    uint64_t num_keys = r->U64();
+    for (uint64_t i = 0; i < num_keys && r->ok(); ++i) {
+      Key k = r->U64();
+      uint64_t n = r->U64();
+      for (uint64_t j = 0; j < n && r->ok(); ++j) {
+        WriteInterval iv;
+        iv.start = r->U64();
+        iv.end = r->U64();
+        iv.tid = r->U64();
+        Add(k, iv.start, iv.end, iv.tid);
+      }
+    }
+    return r->ok();
+  }
 
  private:
   std::unordered_map<Key, IntervalTree> trees_;

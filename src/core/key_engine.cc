@@ -1,6 +1,8 @@
 #include "core/key_engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <optional>
 
 #include "core/list_replay.h"
@@ -195,7 +197,24 @@ const SpillPayload* KeyEngine::LoadEpoch(uint64_t id, SpillPayload* scratch) {
   for (auto& [cid, cp] : epoch_cache_) {
     if (cid == id) return &cp;
   }
-  if (!spill_.Load(id, scratch)) return nullptr;
+  SpillStore::LoadStatus st = spill_.Load(id, scratch);
+  if (st != SpillStore::LoadStatus::kOk) {
+    // Both outcomes degrade the consulting site to best-effort (the
+    // epoch's records are simply absent, the D7 accounting model), but
+    // a present-yet-unparseable file is an integrity failure: count it
+    // once and say so.
+    if (st == SpillStore::LoadStatus::kCorrupt &&
+        std::find(corrupt_epochs_.begin(), corrupt_epochs_.end(), id) ==
+            corrupt_epochs_.end()) {
+      corrupt_epochs_.push_back(id);
+      ++stats_->corrupt_spill_epochs;
+      std::fprintf(stderr,
+                   "chronos: spill epoch %llu is corrupt; below-watermark "
+                   "checking degrades to best effort\n",
+                   static_cast<unsigned long long>(id));
+    }
+    return nullptr;
+  }
   ++stats_->spill_reloads;
   if (epoch_cache_.size() >= kEpochCacheCap) {
     epoch_cache_.erase(epoch_cache_.begin());
@@ -207,10 +226,14 @@ const SpillPayload* KeyEngine::LoadEpoch(uint64_t id, SpillPayload* scratch) {
 VersionedKv::Lookup KeyEngine::LookupSpilled(Key key, Timestamp view) {
   const bool inclusive = options_.mode == CheckMode::kSi;
   VersionedKv::Lookup best;
+  bool degraded = false;
   for (uint64_t id : spill_epochs_) {
     SpillPayload scratch;
     const SpillPayload* payload = LoadEpoch(id, &scratch);
-    if (!payload) continue;
+    if (!payload) {
+      degraded = true;
+      continue;
+    }
     for (const auto& [k, ts, entry] : payload->versions) {
       bool qualifies = inclusive ? ts <= view : ts < view;
       if (k == key && qualifies && ts >= best.ts) {
@@ -218,6 +241,9 @@ VersionedKv::Lookup KeyEngine::LookupSpilled(Key key, Timestamp view) {
       }
     }
   }
+  // A missing or corrupt epoch degrades this consult to the same
+  // best-effort verdict as spill-less GC (D7): count it the same way.
+  if (degraded) ++stats_->unsafe_below_watermark;
   return best;
 }
 
@@ -271,14 +297,21 @@ void KeyEngine::InstallVersionAndRecheck(const TxnCtx& ctx, Key key,
 
 template <typename Fn>
 void KeyEngine::ForEachSpilledListVersion(Key key, Fn&& fn) {
+  bool degraded = false;
   for (uint64_t id : spill_epochs_) {
     SpillPayload scratch;
     const SpillPayload* p = LoadEpoch(id, &scratch);
-    if (!p) continue;
+    if (!p) {
+      degraded = true;
+      continue;
+    }
     for (const ListSpillVersion& lv : p->list_versions) {
       if (lv.key == key) fn(lv);
     }
   }
+  // Unloadable epoch: the reconstruction is incomplete — same D7
+  // best-effort accounting as the spill-less paths.
+  if (degraded) ++stats_->unsafe_below_watermark;
 }
 
 std::vector<std::pair<Timestamp, std::vector<Value>>>
@@ -324,6 +357,16 @@ KeyEngine::ListEval KeyEngine::EvaluateListRead(
   bool below_base = base_ts != kTsMin && base_ts <= watermark_ &&
                     (inclusive ? view < base_ts : view <= base_ts);
   if (below_base) {
+    if (lists_.TrimmedLen(key) > 0) {
+      // Horizon trim may have truncated this key's spilled deltas
+      // (ListKv invariant 5), so the reconstruction below cannot be
+      // trusted element-wise. Deterministic-optimistic, counted.
+      ++stats_->unsafe_below_horizon;
+      ev.frontier_len = observed.size();
+      ev.satisfied = true;
+      ev.divergence = -1;
+      return ev;
+    }
     if (!spill_.persistent()) {
       ++stats_->unsafe_below_watermark;
       // Deterministic best effort: no below-base content is resolvable.
@@ -357,9 +400,35 @@ KeyEngine::ListEval KeyEngine::EvaluateListRead(
   }
   ev.frontier_len = p.len;
   ev.frontier_tid = p.tid;
-  ev.divergence = FirstListDivergence(p.data, p.len, observed.data(),
-                                      observed.size());
-  ev.satisfied = ev.divergence < 0;
+  if (p.trimmed == 0) {
+    ev.divergence = FirstListDivergence(p.data, p.len, observed.data(),
+                                        observed.size());
+    ev.satisfied = ev.divergence < 0;
+    return ev;
+  }
+  // Trim-aware comparison: the materialized tail element-wise, then the
+  // hash-trimmed region by FNV (a mismatch there reports divergence 0 —
+  // the exact index is gone with the elements). A tainted hash cannot
+  // verify the region at all: deterministic-optimistic, counted.
+  size_t n = std::min(p.len, observed.size());
+  int64_t div = -1;
+  for (size_t i = p.trimmed; i < n; ++i) {
+    if (p.data[i - p.trimmed] != observed[i]) {
+      div = static_cast<int64_t>(i);
+      break;
+    }
+  }
+  if (div < 0 && p.len != observed.size()) div = static_cast<int64_t>(n);
+  if (div < 0) {
+    if (p.hash_tainted) {
+      ++stats_->unsafe_below_horizon;
+    } else if (Fnv1a(observed.data(), p.trimmed * sizeof(Value)) !=
+               p.trimmed_hash) {
+      div = 0;
+    }
+  }
+  ev.divergence = div;
+  ev.satisfied = div < 0;
   return ev;
 }
 
@@ -379,7 +448,10 @@ void KeyEngine::InstallAppendAndRecheck(const TxnCtx& ctx, Key key,
     } else {
       spilled_lens = SpilledListLens(key);
     }
-    ok = lists_.PutBelowBase(key, cts, delta, ctx.tid, spilled_lens);
+    bool into_trimmed = false;
+    ok = lists_.PutBelowBase(key, cts, delta, ctx.tid, spilled_lens,
+                             &into_trimmed);
+    if (into_trimmed) ++stats_->unsafe_below_horizon;
   } else {
     ok = lists_.Put(key, cts, delta, ctx.tid);
   }
@@ -425,10 +497,14 @@ void KeyEngine::CheckNoConflictKey(const TxnCtx& ctx, Key key) {
     if (!spill_.persistent()) {
       ++stats_->unsafe_below_watermark;
     } else {
+      bool degraded = false;
       for (uint64_t id : spill_epochs_) {
         SpillPayload scratch;
         const SpillPayload* p = LoadEpoch(id, &scratch);
-        if (!p) continue;
+        if (!p) {
+          degraded = true;
+          continue;
+        }
         for (const auto& [k, iv] : p->intervals) {
           if (k != key || iv.tid == ctx.tid) continue;
           if (iv.start <= ctx.commit_ts && iv.end >= ctx.start_ts) {
@@ -439,6 +515,9 @@ void KeyEngine::CheckNoConflictKey(const TxnCtx& ctx, Key key) {
           }
         }
       }
+      // Epochs that failed to load leave the interval scan incomplete:
+      // same best-effort accounting as running without a spill dir.
+      if (degraded) ++stats_->unsafe_below_watermark;
     }
   }
 }
@@ -523,6 +602,151 @@ void KeyEngine::CollectUpTo(Timestamp watermark) {
   compact(&list_reader_index_, &dropped_list_views);
 
   watermark_ = std::max(watermark_, watermark);
+}
+
+size_t KeyEngine::TrimListsBelowHorizon() {
+  return lists_.TrimTo(watermark_);
+}
+
+void KeyEngine::Serialize(StateWriter* w) const {
+  w->U64(watermark_);
+  versions_.Serialize(w);
+  lists_.Serialize(w);
+  ongoing_.Serialize(w);
+  spill_.SerializeManifest(w);
+  w->U64(spill_epochs_.size());
+  for (uint64_t id : spill_epochs_) w->U64(id);
+  // Cache ids only: the payloads are re-read from the (still on disk)
+  // epoch files on restore, without counting as spill_reloads — so the
+  // reload counter evolves exactly as in an uninterrupted run.
+  w->U64(epoch_cache_.size());
+  for (const auto& [id, payload] : epoch_cache_) w->U64(id);
+
+  std::vector<TxnId> tids;
+  tids.reserve(local_txns_.size());
+  for (const auto& [tid, rec] : local_txns_) tids.push_back(tid);
+  std::sort(tids.begin(), tids.end());
+  w->U64(tids.size());
+  for (TxnId tid : tids) {
+    const LocalTxn& rec = local_txns_.at(tid);
+    w->U64(tid);
+    w->U64(rec.view_ts);
+    w->U64(rec.commit_ts);
+    w->U8(rec.finalized ? 1 : 0);
+    w->U64(rec.ext_reads.size());
+    for (const ExtReadState& er : rec.ext_reads) {
+      w->U64(er.key);
+      w->I64(er.observed);
+      w->U8(er.satisfied ? 1 : 0);
+      w->U64(er.flips);
+      w->U64(er.last_change_ms);
+    }
+    w->U64(rec.list_reads.size());
+    for (const ListReadState& lr : rec.list_reads) {
+      w->U64(lr.key);
+      w->Bytes(lr.observed.data(), lr.observed.size() * sizeof(Value));
+      w->U8(lr.satisfied ? 1 : 0);
+      w->U64(lr.flips);
+      w->U64(lr.last_change_ms);
+    }
+  }
+  w->U64(commit_index_.size());
+  for (const auto& [cts, tid] : commit_index_) {
+    w->U64(cts);
+    w->U64(tid);
+  }
+}
+
+bool KeyEngine::Deserialize(StateReader* r) {
+  watermark_ = r->U64();
+  if (!versions_.Deserialize(r)) return false;
+  if (!lists_.Deserialize(r)) return false;
+  if (!ongoing_.Deserialize(r)) return false;
+  if (!spill_.DeserializeManifest(r)) return false;
+  spill_epochs_.clear();
+  uint64_t ne = r->U64();
+  for (uint64_t i = 0; i < ne && r->ok(); ++i) spill_epochs_.push_back(r->U64());
+  epoch_cache_.clear();
+  uint64_t nc = r->U64();
+  for (uint64_t i = 0; i < nc && r->ok(); ++i) {
+    uint64_t id = r->U64();
+    SpillPayload payload;
+    if (spill_.Load(id, &payload) == SpillStore::LoadStatus::kOk) {
+      epoch_cache_.emplace_back(id, std::move(payload));
+    }
+  }
+
+  local_txns_.clear();
+  uint64_t nt = r->U64();
+  for (uint64_t i = 0; i < nt && r->ok(); ++i) {
+    TxnId tid = r->U64();
+    LocalTxn& rec = local_txns_[tid];
+    rec.view_ts = r->U64();
+    rec.commit_ts = r->U64();
+    rec.finalized = r->U8() != 0;
+    uint64_t nr = r->U64();
+    rec.ext_reads.reserve(nr);
+    for (uint64_t j = 0; j < nr && r->ok(); ++j) {
+      ExtReadState er;
+      er.key = r->U64();
+      er.observed = r->I64();
+      er.satisfied = r->U8() != 0;
+      er.flips = static_cast<uint32_t>(r->U64());
+      er.last_change_ms = r->U64();
+      rec.ext_reads.push_back(er);
+    }
+    uint64_t nl = r->U64();
+    rec.list_reads.reserve(nl);
+    for (uint64_t j = 0; j < nl && r->ok(); ++j) {
+      ListReadState lr;
+      lr.key = r->U64();
+      std::string raw = r->Bytes();
+      if (!r->ok() || raw.size() % sizeof(Value) != 0) return false;
+      lr.observed.resize(raw.size() / sizeof(Value));
+      std::memcpy(lr.observed.data(), raw.data(), raw.size());
+      lr.satisfied = r->U8() != 0;
+      lr.flips = static_cast<uint32_t>(r->U64());
+      lr.last_change_ms = r->U64();
+      rec.list_reads.push_back(std::move(lr));
+    }
+  }
+  commit_index_.clear();
+  uint64_t nci = r->U64();
+  commit_index_.reserve(nci);
+  for (uint64_t i = 0; i < nci && r->ok(); ++i) {
+    Timestamp cts = r->U64();
+    TxnId tid = r->U64();
+    commit_index_.emplace_back(cts, tid);
+  }
+
+  // The reader indexes are derivable: every resident transaction's reads
+  // are registered (refs persist until the record itself is dropped), so
+  // rebuilding from local_txns_ and sorting by the unique view timestamps
+  // reproduces the chains exactly.
+  reader_index_.clear();
+  list_reader_index_.clear();
+  for (const auto& [tid, rec] : local_txns_) {
+    for (uint32_t i = 0; i < rec.ext_reads.size(); ++i) {
+      reader_index_[rec.ext_reads[i].key].push_back(
+          ReaderRef{rec.view_ts, tid, i});
+    }
+    for (uint32_t i = 0; i < rec.list_reads.size(); ++i) {
+      list_reader_index_[rec.list_reads[i].key].push_back(
+          ReaderRef{rec.view_ts, tid, i});
+    }
+  }
+  auto sort_chains = [](std::unordered_map<Key, ReaderChain>* index) {
+    for (auto& [key, chain] : *index) {
+      std::sort(chain.begin(), chain.end(),
+                [](const ReaderRef& a, const ReaderRef& b) {
+                  return a.view_ts < b.view_ts;
+                });
+    }
+  };
+  sort_chains(&reader_index_);
+  sort_chains(&list_reader_index_);
+  corrupt_epochs_.clear();
+  return r->ok();
 }
 
 }  // namespace chronos

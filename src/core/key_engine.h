@@ -128,6 +128,21 @@ class KeyEngine {
   /// strictly increasing and safe (no unfinalized read view at or below).
   void CollectUpTo(Timestamp watermark);
 
+  /// Memory-ceiling degradation: trims list element buffers below the
+  /// current watermark down to a prefix hash (ListKv::TrimTo). Returns
+  /// the number of elements released.
+  size_t TrimListsBelowHorizon();
+
+  /// Checkpoint hooks: a full dump of this engine's state (byte-
+  /// deterministic — hash-map contents are emitted in sorted order) and
+  /// its exact inverse. Deserialize rebuilds the derivable structures
+  /// (reader indexes, GC trigger heaps, epoch cache payloads) instead of
+  /// reading them, and assumes an engine constructed with the same
+  /// Options (in particular the same spill_dir, which must still hold
+  /// the manifest's epoch files).
+  void Serialize(StateWriter* w) const;
+  bool Deserialize(StateReader* r);
+
   /// Accounting (O(1), backed by running counters). Versions count both
   /// register versions and list version boundaries.
   size_t TotalVersions() const {
@@ -236,6 +251,9 @@ class KeyEngine {
   std::vector<uint64_t> spill_epochs_;  // ids, in spill order
   // Tiny cache of reloaded epochs (stragglers cluster in time).
   std::vector<std::pair<uint64_t, SpillPayload>> epoch_cache_;
+  // Epochs already counted in CheckerStats::corrupt_spill_epochs (each
+  // corrupt file is counted and logged once, on first consult).
+  std::vector<uint64_t> corrupt_epochs_;
 
   std::unordered_map<TxnId, LocalTxn> local_txns_;
   // (cts, tid) of resident local txns, sorted by cts (append-mostly).

@@ -21,17 +21,28 @@
 //      region at the offset implied by ts order (computed by the caller
 //      from the spilled boundaries) and remembered in `merged_below`, so
 //      later stragglers and below-watermark reads see it.
+//   5. Horizon trim (`TrimTo`, the --memory-ceiling degradation path)
+//      may drop the materialized elements of the base version's region —
+//      and only that region, so every in-chain insert offset stays at or
+//      above the cut — replacing them with their length and FNV-1a hash.
+//      Element offsets (`end_off`) remain full-sequence coordinates; the
+//      buffer simply starts at `trimmed_len`. Readers at or above the
+//      base verify the trimmed region by hash; a straggler landing
+//      inside it taints the hash and degrades verification (counted as
+//      CheckerStats::unsafe_below_horizon by the caller).
 #ifndef CHRONOS_CORE_LIST_KV_H_
 #define CHRONOS_CORE_LIST_KV_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "core/state_io.h"
 #include "core/types.h"
 
 namespace chronos {
@@ -55,11 +66,18 @@ class ListKv {
   };
 
   /// Result of a frontier query: the cumulative prefix at the view.
+  /// Offsets are full-sequence coordinates; when `trimmed` > 0 the
+  /// element at full index i (trimmed <= i < len) is data[i - trimmed],
+  /// and the region [0, trimmed) is only available as `trimmed_hash`
+  /// (FNV-1a over its Value bytes), unusable when `hash_tainted`.
   struct Prefix {
     size_t len = 0;          ///< 0 when no version qualifies
     TxnId tid = kTxnNone;    ///< writer of the resolving version
     Timestamp ts = kTsMin;   ///< its commit ts (kTsMin: no version)
-    const Value* data = nullptr;  ///< the key's element buffer (len valid)
+    const Value* data = nullptr;  ///< elements from `trimmed` upward
+    size_t trimmed = 0;           ///< leading elements replaced by hash
+    uint64_t trimmed_hash = kFnvOffset;  ///< FNV-1a over the trimmed region
+    bool hash_tainted = false;    ///< straggler merged into trimmed region
   };
 
   /// Installs `delta` (the transaction's appends to `key`, in program
@@ -72,7 +90,7 @@ class ListKv {
       // Common case: in-order commit, append at the tail.
       chain.elems.insert(chain.elems.end(), delta.begin(), delta.end());
       chain.versions.push_back({ts, tid, static_cast<uint32_t>(delta.size()),
-                                chain.elems.size()});
+                                chain.trimmed_len + chain.elems.size()});
     } else {
       auto it = LowerBound(chain.versions, ts);
       if (it != chain.versions.end() && it->ts == ts) return false;
@@ -97,10 +115,16 @@ class ListKv {
   /// the duplicate is silently ordered after the spilled delta — the
   /// same policy as register stragglers (VersionedKv::Put only checks
   /// in-memory versions), deterministic and covered by the D6 reasoning.
+  ///
+  /// When the delta lands inside a hash-trimmed region (invariant 5) it
+  /// is not materialized: the trimmed length grows, the hash is tainted,
+  /// and `*into_trimmed` (when non-null) is set so the caller can count
+  /// the degradation (unsafe_below_horizon).
   bool PutBelowBase(Key key, Timestamp ts, const std::vector<Value>& delta,
                     TxnId tid,
                     const std::vector<std::pair<Timestamp, size_t>>&
-                        spilled_below) {
+                        spilled_below,
+                    bool* into_trimmed = nullptr) {
     (void)tid;  // merged boundaries are never re-attributed to a writer
     Chain& chain = chains_[key];
     size_t offset = 0;
@@ -114,13 +138,24 @@ class ListKv {
     // Shift every version boundary (all of them sit at or above the
     // base, whose region absorbs the delta).
     for (ListVersion& v : chain.versions) v.end_off += delta.size();
-    chain.elems.insert(chain.elems.begin() + static_cast<long>(offset),
-                       delta.begin(), delta.end());
+    if (offset < chain.trimmed_len) {
+      // The insert position was trimmed away: absorb the delta into the
+      // hashed region. Its content is remembered in merged_below (for
+      // below-base reconstruction) but the hash can no longer be
+      // recomputed incrementally — taint it.
+      chain.trimmed_len += delta.size();
+      chain.hash_tainted = true;
+      if (into_trimmed) *into_trimmed = true;
+    } else {
+      chain.elems.insert(
+          chain.elems.begin() + static_cast<long>(offset - chain.trimmed_len),
+          delta.begin(), delta.end());
+      total_elems_ += delta.size();
+    }
     auto mit = std::lower_bound(
         chain.merged_below.begin(), chain.merged_below.end(), ts,
         [](const auto& m, Timestamp t) { return m.first < t; });
     chain.merged_below.insert(mit, {ts, delta});
-    total_elems_ += delta.size();
     return true;
   }
 
@@ -135,14 +170,14 @@ class ListKv {
     if (!chain.versions.empty()) {
       const ListVersion& back = chain.versions.back();
       if (inclusive ? back.ts <= view : back.ts < view) {
-        return Prefix{back.end_off, back.tid, back.ts, chain.elems.data()};
+        return MakePrefix(chain, back);
       }
     }
     auto vit = inclusive ? UpperBound(chain.versions, view)
                          : LowerBound(chain.versions, view);
     if (vit == chain.versions.begin()) return Prefix{};
     --vit;
-    return Prefix{vit->end_off, vit->tid, vit->ts, chain.elems.data()};
+    return MakePrefix(chain, *vit);
   }
 
   /// Commit ts of the oldest in-memory version of `key` (kTsMin: none).
@@ -189,10 +224,17 @@ class ListKv {
             rec.key = key;
             rec.ts = vit->ts;
             rec.tid = vit->tid;
+            // Clamp to the materialized range: a boundary whose elements
+            // were hash-trimmed (invariant 5) spills a truncated delta.
+            // Below-base reads on a trimmed chain degrade to
+            // unsafe_below_horizon at the consulting site, so the short
+            // record is never trusted for element-wise verification.
+            size_t lo = std::max(vit->end_off - vit->delta_len,
+                                 chain.trimmed_len);
+            size_t hi = std::max(vit->end_off, chain.trimmed_len);
             rec.delta.assign(
-                chain.elems.begin() +
-                    static_cast<long>(vit->end_off - vit->delta_len),
-                chain.elems.begin() + static_cast<long>(vit->end_off));
+                chain.elems.begin() + static_cast<long>(lo - chain.trimmed_len),
+                chain.elems.begin() + static_cast<long>(hi - chain.trimmed_len));
             evicted->push_back(std::move(rec));
           }
         }
@@ -207,9 +249,118 @@ class ListKv {
     return n;
   }
 
+  /// Trims the materialized elements of every chain whose base version
+  /// (oldest in-memory boundary) sits at or below `horizon`, replacing
+  /// the base's element region [0, base.end_off) with its length and
+  /// FNV-1a hash (invariant 5). Only the base region is ever trimmed so
+  /// in-chain insert offsets stay at or above the cut. Returns the
+  /// number of elements released by this call.
+  size_t TrimTo(Timestamp horizon) {
+    size_t released = 0;
+    for (auto& [key, chain] : chains_) {
+      (void)key;
+      if (chain.versions.empty()) continue;
+      const ListVersion& base = chain.versions.front();
+      if (base.ts > horizon) continue;
+      size_t cut = base.end_off;
+      if (cut <= chain.trimmed_len) continue;  // already trimmed this far
+      size_t n = cut - chain.trimmed_len;
+      chain.trimmed_hash =
+          Fnv1a(chain.elems.data(), n * sizeof(Value), chain.trimmed_hash);
+      chain.elems.erase(chain.elems.begin(),
+                        chain.elems.begin() + static_cast<long>(n));
+      chain.trimmed_len = cut;
+      total_elems_ -= n;
+      total_trimmed_ += n;
+      released += n;
+    }
+    return released;
+  }
+
+  /// Full-sequence length of `key`'s hash-trimmed region (0: untrimmed).
+  size_t TrimmedLen(Key key) const {
+    auto it = chains_.find(key);
+    return it == chains_.end() ? 0 : it->second.trimmed_len;
+  }
+
+  /// Elements released by TrimTo across all keys, cumulative.
+  size_t TotalTrimmed() const { return total_trimmed_; }
+
   /// Live version boundaries across all keys. O(1).
   size_t TotalVersions() const { return total_versions_; }
   size_t NumKeys() const { return chains_.size(); }
+
+  /// Checkpoint hooks: full dump including trim state, keys sorted for
+  /// byte-determinism; Deserialize re-arms the trigger heap.
+  void Serialize(StateWriter* w) const {
+    std::vector<Key> keys;
+    keys.reserve(chains_.size());
+    for (const auto& [k, chain] : chains_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w->U64(total_trimmed_);
+    w->U64(keys.size());
+    for (Key k : keys) {
+      const Chain& chain = chains_.at(k);
+      w->U64(k);
+      w->U64(chain.versions.size());
+      for (const ListVersion& v : chain.versions) {
+        w->U64(v.ts);
+        w->U64(v.tid);
+        w->U64(v.delta_len);
+        w->U64(v.end_off);
+      }
+      w->Bytes(chain.elems.data(), chain.elems.size() * sizeof(Value));
+      w->U64(chain.merged_below.size());
+      for (const auto& [mts, mdelta] : chain.merged_below) {
+        w->U64(mts);
+        w->Bytes(mdelta.data(), mdelta.size() * sizeof(Value));
+      }
+      w->U64(chain.trimmed_len);
+      w->U64(chain.trimmed_hash);
+      w->U8(chain.hash_tainted ? 1 : 0);
+    }
+  }
+
+  bool Deserialize(StateReader* r) {
+    chains_.clear();
+    total_versions_ = 0;
+    total_elems_ = 0;
+    gc_triggers_ = {};
+    total_trimmed_ = r->U64();
+    uint64_t num_keys = r->U64();
+    for (uint64_t i = 0; i < num_keys && r->ok(); ++i) {
+      Key k = r->U64();
+      Chain& chain = chains_[k];
+      uint64_t nv = r->U64();
+      chain.versions.reserve(nv);
+      for (uint64_t j = 0; j < nv && r->ok(); ++j) {
+        ListVersion v;
+        v.ts = r->U64();
+        v.tid = r->U64();
+        v.delta_len = static_cast<uint32_t>(r->U64());
+        v.end_off = r->U64();
+        chain.versions.push_back(v);
+      }
+      if (!ReadValueVec(r, &chain.elems)) break;
+      uint64_t nm = r->U64();
+      chain.merged_below.reserve(nm);
+      for (uint64_t j = 0; j < nm && r->ok(); ++j) {
+        Timestamp mts = r->U64();
+        std::vector<Value> mdelta;
+        if (!ReadValueVec(r, &mdelta)) break;
+        chain.merged_below.emplace_back(mts, std::move(mdelta));
+      }
+      chain.trimmed_len = r->U64();
+      chain.trimmed_hash = r->U64();
+      chain.hash_tainted = r->U8() != 0;
+      total_versions_ += chain.versions.size();
+      total_elems_ += chain.elems.size();
+      if (chain.versions.size() >= 2) {
+        gc_triggers_.push({chain.versions[1].ts, k});
+      }
+    }
+    return r->ok();
+  }
 
   /// Approximate heap footprint (materialized prefixes dominate). O(1).
   size_t ApproxBytes() const {
@@ -222,10 +373,31 @@ class ListKv {
  private:
   struct Chain {
     std::vector<ListVersion> versions;  // sorted by ts
-    std::vector<Value> elems;           // materialized cumulative prefix
+    // Materialized cumulative prefix, starting at full index trimmed_len
+    // (the sequence below it was hash-trimmed away, invariant 5).
+    std::vector<Value> elems;
     // Below-base stragglers merged into the collapsed region (ts order).
     std::vector<std::pair<Timestamp, std::vector<Value>>> merged_below;
+    size_t trimmed_len = 0;              // full-sequence trim cut
+    uint64_t trimmed_hash = kFnvOffset;  // FNV-1a over trimmed elements
+    bool hash_tainted = false;           // straggler merged into trim region
   };
+
+  static Prefix MakePrefix(const Chain& chain, const ListVersion& v) {
+    Prefix p{v.end_off, v.tid, v.ts, chain.elems.data()};
+    p.trimmed = chain.trimmed_len;
+    p.trimmed_hash = chain.trimmed_hash;
+    p.hash_tainted = chain.hash_tainted;
+    return p;
+  }
+
+  static bool ReadValueVec(StateReader* r, std::vector<Value>* out) {
+    std::string raw = r->Bytes();
+    if (!r->ok() || raw.size() % sizeof(Value) != 0) return false;
+    out->resize(raw.size() / sizeof(Value));
+    std::memcpy(out->data(), raw.data(), raw.size());
+    return true;
+  }
 
   struct TsOrder {
     bool operator()(const ListVersion& v, Timestamp t) const {
@@ -246,7 +418,13 @@ class ListKv {
 
   void InsertAt(Chain* chain, std::ptrdiff_t pos, size_t offset, Timestamp ts,
                 TxnId tid, const std::vector<Value>& delta) {
-    chain->elems.insert(chain->elems.begin() + static_cast<long>(offset),
+    // `offset` is a full-sequence coordinate; storage starts at
+    // trimmed_len. Only the base region is ever trimmed, so in-chain
+    // inserts (pos >= 1 => offset >= front().end_off >= trimmed_len)
+    // never land inside the trimmed cut.
+    size_t store = offset >= chain->trimmed_len ? offset - chain->trimmed_len
+                                                : 0;
+    chain->elems.insert(chain->elems.begin() + static_cast<long>(store),
                         delta.begin(), delta.end());
     for (auto it = chain->versions.begin() + pos; it != chain->versions.end();
          ++it) {
@@ -266,7 +444,8 @@ class ListKv {
 
   std::unordered_map<Key, Chain> chains_;
   size_t total_versions_ = 0;
-  size_t total_elems_ = 0;
+  size_t total_elems_ = 0;   // materialized only; trimmed elements excluded
+  size_t total_trimmed_ = 0; // cumulative elements released by TrimTo
   // Same lazy-trigger invariant as VersionedKv: every key with >= 2
   // versions has an entry with trigger <= its current versions[1].ts.
   std::priority_queue<std::pair<Timestamp, Key>,

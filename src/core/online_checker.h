@@ -46,6 +46,14 @@ struct CheckerStats {
   uint64_t noconflict_checks = 0;      ///< Step-2 overlap queries
   uint64_t spill_reloads = 0;          ///< epochs loaded back from disk
   uint64_t unsafe_below_watermark = 0; ///< stragglers GC made unverifiable
+  /// Reads whose evaluation touched a hash-trimmed list prefix region
+  /// that could not be verified element-wise (ListKv horizon trim; same
+  /// deterministic-degradation accounting as unsafe_below_watermark).
+  uint64_t unsafe_below_horizon = 0;
+  /// Spill epochs whose file existed but failed to parse. Distinct from
+  /// a missing epoch (both degrade to unsafe_below_watermark at the
+  /// consulting site, but corruption is loudly logged and counted here).
+  uint64_t corrupt_spill_epochs = 0;
   uint64_t gc_passes = 0;
 
   CheckerStats& operator+=(const CheckerStats& o) {
@@ -54,8 +62,21 @@ struct CheckerStats {
     noconflict_checks += o.noconflict_checks;
     spill_reloads += o.spill_reloads;
     unsafe_below_watermark += o.unsafe_below_watermark;
+    unsafe_below_horizon += o.unsafe_below_horizon;
+    corrupt_spill_epochs += o.corrupt_spill_epochs;
     gc_passes += o.gc_passes;
     return *this;
+  }
+
+  bool operator==(const CheckerStats& o) const {
+    return txns_processed == o.txns_processed &&
+           ext_rechecks == o.ext_rechecks &&
+           noconflict_checks == o.noconflict_checks &&
+           spill_reloads == o.spill_reloads &&
+           unsafe_below_watermark == o.unsafe_below_watermark &&
+           unsafe_below_horizon == o.unsafe_below_horizon &&
+           corrupt_spill_epochs == o.corrupt_spill_epochs &&
+           gc_passes == o.gc_passes;
   }
 };
 
@@ -96,6 +117,13 @@ class OnlineChecker {
 
   /// Cheap (lock-free) footprint estimate; exact for live_txns.
   virtual CheckerFootprint GetFootprint() const = 0;
+
+  /// Best-effort memory release beyond GC: trims list element buffers
+  /// below the current watermark down to a prefix hash (the
+  /// --memory-ceiling degradation path). Verdicts for live readers are
+  /// unaffected; stragglers into a trimmed region degrade to
+  /// CheckerStats::unsafe_below_horizon accounting. Default: no-op.
+  virtual void ShedMemory() {}
 };
 
 }  // namespace chronos

@@ -58,10 +58,13 @@ uint64_t SpillStore::Spill(const SpillPayload& payload) {
   return id;
 }
 
-bool SpillStore::Load(uint64_t epoch_id, SpillPayload* out) const {
-  if (!persistent() || epochs_.find(epoch_id) == epochs_.end()) return false;
+SpillStore::LoadStatus SpillStore::Load(uint64_t epoch_id,
+                                        SpillPayload* out) const {
+  if (!persistent() || epochs_.find(epoch_id) == epochs_.end()) {
+    return LoadStatus::kMissing;
+  }
   FILE* f = fopen(PathFor(epoch_id).c_str(), "rb");
-  if (!f) return false;
+  if (!f) return LoadStatus::kMissing;
   out->versions.clear();
   out->intervals.clear();
   uint64_t n = 0;
@@ -97,8 +100,35 @@ bool SpillStore::Load(uint64_t epoch_id, SpillPayload* out) const {
     }
     if (ok) out->list_versions.push_back(std::move(lv));
   }
+  // A well-formed epoch is consumed exactly; trailing bytes mean the
+  // file was overwritten or appended to — treat as corrupt too.
+  if (ok) {
+    uint64_t extra;
+    if (ReadU64(f, &extra)) ok = false;
+  }
   fclose(f);
-  return ok;
+  return ok ? LoadStatus::kOk : LoadStatus::kCorrupt;
+}
+
+void SpillStore::SerializeManifest(StateWriter* w) const {
+  w->U64(next_id_);
+  w->U64(epochs_.size());
+  for (const auto& [id, max_ts] : epochs_) {
+    w->U64(id);
+    w->U64(max_ts);
+  }
+}
+
+bool SpillStore::DeserializeManifest(StateReader* r) {
+  next_id_ = r->U64();
+  uint64_t n = r->U64();
+  epochs_.clear();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    uint64_t id = r->U64();
+    Timestamp max_ts = r->U64();
+    epochs_[id] = max_ts;
+  }
+  return r->ok();
 }
 
 std::vector<uint64_t> SpillStore::EpochsAtOrBelow(Timestamp ts) const {

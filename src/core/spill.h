@@ -14,6 +14,7 @@
 
 #include "core/interval_tree.h"
 #include "core/list_kv.h"
+#include "core/state_io.h"
 #include "core/types.h"
 #include "core/versioned_kv.h"
 
@@ -49,17 +50,31 @@ class SpillStore {
   /// the payload is empty).
   uint64_t Spill(const SpillPayload& payload);
 
-  /// Loads one epoch. Returns false on missing/corrupt file.
-  bool Load(uint64_t epoch_id, SpillPayload* out) const;
+  /// Outcome of a Load: callers must distinguish an epoch that never
+  /// existed (or whose file vanished) from one whose file is present but
+  /// unparseable — the latter is an integrity failure worth logging and
+  /// counting (CheckerStats::corrupt_spill_epochs), not a silent miss.
+  enum class LoadStatus { kOk, kMissing, kCorrupt };
+
+  /// Loads one epoch.
+  LoadStatus Load(uint64_t epoch_id, SpillPayload* out) const;
 
   /// Ids of all epochs whose contents may intersect timestamps <= ts.
   std::vector<uint64_t> EpochsAtOrBelow(Timestamp ts) const;
 
   size_t NumEpochs() const { return epochs_.size(); }
 
- private:
+  /// Checkpoint hooks: the manifest (next id + id->max_ts map) is part
+  /// of the checker state; the epoch files themselves stay on disk and
+  /// are re-opened on demand after a restore.
+  void SerializeManifest(StateWriter* w) const;
+  bool DeserializeManifest(StateReader* r);
+
+  /// On-disk path of an epoch's file (exposed for integrity tooling and
+  /// the crash-recovery corruption fixtures).
   std::string PathFor(uint64_t id) const;
 
+ private:
   std::string dir_;
   uint64_t next_id_ = 1;
   std::map<uint64_t, Timestamp> epochs_;  // id -> max_ts

@@ -1,0 +1,106 @@
+// Byte-level serialization primitives for the checkpoint subsystem
+// (online/checkpoint.h): a little-endian append-only writer and a
+// bounds-checked reader over one contiguous buffer, plus the FNV-1a
+// checksum every checkpoint section and WAL record carries. Lives in
+// core/ so the per-structure Serialize/Deserialize hooks (VersionedKv,
+// ListKv, OngoingIndex, SpillStore, FlipFlopStats, KeyEngine,
+// TxnIngress) need no dependency on the online layer.
+//
+// The format has no self-description: reader and writer must agree on
+// the field sequence, and every container is length-prefixed with a
+// u64. A reader that runs off the end (torn section, corrupted length)
+// latches !ok() and every subsequent read returns zeros — callers check
+// ok() once at the end instead of after each field.
+#ifndef CHRONOS_CORE_STATE_IO_H_
+#define CHRONOS_CORE_STATE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace chronos {
+
+inline constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over `n` bytes, chainable through `seed`.
+inline uint64_t Fnv1a(const void* data, size_t n, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Appends fixed-width little-endian fields to a growable buffer.
+class StateWriter {
+ public:
+  void U64(uint64_t v) {
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    buf_.append(b, 8);
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void U32(uint32_t v) { U64(v); }
+  void U8(uint8_t v) { U64(v); }
+  void Bytes(const void* data, size_t n) {
+    U64(n);
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads the writer's field sequence back; latches !ok() on underrun.
+class StateReader {
+ public:
+  StateReader(const char* data, size_t n) : p_(data), end_(data + n) {}
+  explicit StateReader(const std::string& buf)
+      : StateReader(buf.data(), buf.size()) {}
+
+  uint64_t U64() {
+    if (end_ - p_ < 8) {
+      ok_ = false;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    }
+    p_ += 8;
+    return v;
+  }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  uint32_t U32() { return static_cast<uint32_t>(U64()); }
+  uint8_t U8() { return static_cast<uint8_t>(U64()); }
+  std::string Bytes() {
+    uint64_t n = U64();
+    if (!ok_ || static_cast<uint64_t>(end_ - p_) < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(p_, n);
+    p_ += n;
+    return out;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_STATE_IO_H_

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/state_io.h"
 #include "core/types.h"
 
 namespace chronos {
@@ -153,6 +154,53 @@ class VersionedKv {
   const Chain* Find(Key key) const {
     auto it = versions_.find(key);
     return it == versions_.end() ? nullptr : &it->second;
+  }
+
+  /// Checkpoint hook: dumps every chain, keys in sorted order so the
+  /// image is byte-deterministic regardless of hash-map iteration order.
+  void Serialize(StateWriter* w) const {
+    std::vector<Key> keys;
+    keys.reserve(versions_.size());
+    for (const auto& [k, chain] : versions_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w->U64(keys.size());
+    for (Key k : keys) {
+      const Chain& chain = versions_.at(k);
+      w->U64(k);
+      w->U64(chain.size());
+      for (const Version& v : chain) {
+        w->U64(v.ts);
+        w->I64(v.value);
+        w->U64(v.tid);
+      }
+    }
+  }
+
+  /// Restores a serialized image, replacing current contents. The GC
+  /// trigger heap is re-armed from the restored chains rather than
+  /// serialized (the lazy-heap invariant only needs one entry per key
+  /// with >= 2 versions).
+  bool Deserialize(StateReader* r) {
+    versions_.clear();
+    total_versions_ = 0;
+    gc_triggers_ = {};
+    uint64_t num_keys = r->U64();
+    for (uint64_t i = 0; i < num_keys && r->ok(); ++i) {
+      Key k = r->U64();
+      uint64_t n = r->U64();
+      Chain& chain = versions_[k];
+      chain.reserve(n);
+      for (uint64_t j = 0; j < n && r->ok(); ++j) {
+        Version v;
+        v.ts = r->U64();
+        v.value = r->I64();
+        v.tid = r->U64();
+        chain.push_back(v);
+      }
+      total_versions_ += chain.size();
+      if (chain.size() >= 2) gc_triggers_.push({chain[1].ts, k});
+    }
+    return r->ok();
   }
 
   /// Approximate heap footprint in bytes. O(1): derived from the running

@@ -322,6 +322,53 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
       CountEmissions(&r);
       report.checkers.push_back(std::move(r));
     }
+    // Checkpoint/restore identity: run a 2-shard checker to the midpoint,
+    // export its state, import into a fresh instance (same options, same
+    // spill dir — the restored manifests reference the epoch files the
+    // first instance wrote), and finish the stream there. Must be
+    // emission- and stats-identical to the uninterrupted sharded2 run.
+    if (sc.ckpt_restore && !budget_spent()) {
+      CheckerOptions o = opt;
+      if (!spill_root.empty()) o.spill_dir = spill_root + "/sh2ckpt";
+      const size_t cut = arrivals.size() / 2;
+      size_t since_gc = 0;
+      online::ShardedAion::StateImage img;
+      {
+        // The pre-restore instance's destructor re-emits its buffered
+        // violations; give it a throwaway sink — the image carries them
+        // into the restored instance, which reports them at Finish().
+        VectorSink discard;
+        online::ShardedAion first(o, 2, &discard);
+        for (size_t i = 0; i < cut; ++i) {
+          first.OnTransaction(arrivals[i].txn, arrivals[i].deliver_at_ms);
+          if (sc.gc_every > 0 && ++since_gc >= sc.gc_every) {
+            since_gc = 0;
+            first.GcToLiveTarget(sc.gc_target);
+          }
+        }
+        img = first.ExportState();
+      }
+      VectorSink vs;
+      CheckerReport r;
+      r.name = "sharded2ckpt";
+      auto second = std::make_unique<online::ShardedAion>(o, 2, &vs);
+      if (second->ImportState(img)) {
+        r.ran = true;
+        for (size_t i = cut; i < arrivals.size(); ++i) {
+          second->OnTransaction(arrivals[i].txn, arrivals[i].deliver_at_ms);
+          if (sc.gc_every > 0 && ++since_gc >= sc.gc_every) {
+            since_gc = 0;
+            second->GcToLiveTarget(sc.gc_target);
+          }
+        }
+        second->Finish();
+        r.stats = second->stats();
+      }
+      second.reset();  // join workers before reading the sink
+      r.emissions = vs.TakeAll();
+      CountEmissions(&r);
+      report.checkers.push_back(std::move(r));
+    }
     if (!spill_root.empty()) fs::remove_all(spill_root);
   }
 
@@ -430,6 +477,31 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
                        std::to_string(aion->emissions.size()) + " sharded1=" +
                        std::to_string(sh1->emissions.size()));
         }
+      }
+    }
+
+    // Rule: a mid-stream checkpoint + restore is invisible — the
+    // restored checker's emission sequence and stats equal the
+    // uninterrupted sharded2 run's. Holds in every scenario (the restore
+    // consumed the exact same schedule). A failed ImportState of a
+    // just-exported image is itself a bug.
+    const CheckerReport* shc = report.Find("sharded2ckpt");
+    if (shc && !shc->ran) {
+      disagree("ckpt-restore-identity",
+               "ImportState rejected a freshly exported state image",
+               "sharded2ckpt");
+    } else if (shc && sh2) {
+      if (!(shc->emissions == sh2->emissions)) {
+        disagree("ckpt-restore-identity",
+                 "emissions differ after mid-stream restore: sharded2=" +
+                     std::to_string(sh2->emissions.size()) +
+                     " sharded2ckpt=" + std::to_string(shc->emissions.size()),
+                 "sharded2ckpt");
+      }
+      if (!(shc->stats == sh2->stats)) {
+        disagree("ckpt-restore-identity",
+                 "checker stats differ after mid-stream restore",
+                 "sharded2ckpt");
       }
     }
 

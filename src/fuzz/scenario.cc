@@ -121,6 +121,9 @@ FuzzScenario ScenarioFromSeed(uint64_t seed) {
       sc.strict = false;
       break;
   }
+  // Drawn from an independent hash of the seed (not the rng stream) so
+  // enabling this knob did not reshuffle every existing seed's scenario.
+  sc.ckpt_restore = ((seed * 0x2545F4914F6CDD1DULL) >> 62) == 0;  // ~25%
   return sc;
 }
 
@@ -160,6 +163,7 @@ std::string FuzzScenario::Describe() const {
          std::to_string(delay_stddev_ms);
   }
   if (shuffle_seed != 0) s += " shuffled";
+  if (ckpt_restore) s += " ckpt";
   s += strict ? " [strict]" : " [weak]";
   return s;
 }

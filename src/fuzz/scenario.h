@@ -39,6 +39,12 @@ struct FuzzScenario {
   /// Non-zero: drive the online checkers in a session-preserving shuffle
   /// with this seed instead of commit order.
   uint64_t shuffle_seed = 0;
+  /// Also run a sharded checker that is checkpointed (ExportState) and
+  /// restored into a fresh instance (ImportState) mid-stream; its
+  /// emissions and stats must match the uninterrupted run exactly
+  /// (rule "ckpt-restore-identity"). Holds in every scenario, strict or
+  /// weak — restore is invisible by construction.
+  bool ckpt_restore = false;
 
   /// Strict scenarios enforce the full cross-checker equality rules
   /// (online == offline per violation class). Weak scenarios — finite

@@ -4,11 +4,26 @@
 #include <cstdio>
 #include <cstring>
 
+#ifdef _WIN32
+#include <io.h>
+#define chronos_fsync _commit
+#define chronos_fileno _fileno
+#else
+#include <unistd.h>
+#define chronos_fsync fsync
+#define chronos_fileno fileno
+#endif
+
 namespace chronos::hist {
 
 CodecStatus SaveHistory(const History& history, const std::string& path) {
-  FILE* f = fopen(path.c_str(), "w");
-  if (!f) return CodecStatus::Error("cannot open for write: " + path);
+  // Written tmp + fsync + rename so a crash mid-save leaves either the
+  // previous file or the complete new one, never a torn prefix; the
+  // footer lets LoadHistory reject a file truncated at a record boundary
+  // (which would otherwise parse cleanly).
+  const std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "w");
+  if (!f) return CodecStatus::Error("cannot open for write: " + tmp);
   fprintf(f, "chronos-history v1 sessions=%u txns=%zu\n", history.num_sessions,
           history.txns.size());
   for (const Transaction& t : history.txns) {
@@ -35,9 +50,18 @@ CodecStatus SaveHistory(const History& history, const std::string& path) {
       }
     }
   }
-  bool ok = fflush(f) == 0;
-  fclose(f);
-  return ok ? CodecStatus::Ok() : CodecStatus::Error("flush failed: " + path);
+  fprintf(f, "# end txns=%zu\n", history.txns.size());
+  bool ok = fflush(f) == 0 && chronos_fsync(chronos_fileno(f)) == 0;
+  ok = (fclose(f) == 0) && ok;
+  if (!ok) {
+    remove(tmp.c_str());
+    return CodecStatus::Error("flush failed: " + tmp);
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    remove(tmp.c_str());
+    return CodecStatus::Error("rename failed: " + path);
+  }
+  return CodecStatus::Ok();
 }
 
 CodecStatus LoadHistory(const std::string& path, History* out) {
@@ -55,7 +79,17 @@ CodecStatus LoadHistory(const std::string& path, History* out) {
   out->txns.reserve(declared_txns);
 
   char tag[4];
+  bool footer_seen = false;
+  size_t footer_txns = 0;
   while (fscanf(f, "%3s", tag) == 1) {
+    if (strcmp(tag, "#") == 0) {
+      if (fscanf(f, " end txns=%zu", &footer_txns) != 1) {
+        fclose(f);
+        return CodecStatus::Error("malformed footer in " + path);
+      }
+      footer_seen = true;
+      break;
+    }
     if (strcmp(tag, "T") != 0) {
       fclose(f);
       return CodecStatus::Error("expected transaction record, got tag: " +
@@ -113,6 +147,16 @@ CodecStatus LoadHistory(const std::string& path, History* out) {
   if (out->txns.size() != declared_txns) {
     return CodecStatus::Error("header declared " +
                               std::to_string(declared_txns) + " txns, found " +
+                              std::to_string(out->txns.size()));
+  }
+  // The footer is mandatory: without it, a file truncated exactly at a
+  // record boundary is indistinguishable from a complete one.
+  if (!footer_seen) {
+    return CodecStatus::Error("missing end footer (truncated file?): " + path);
+  }
+  if (footer_txns != out->txns.size()) {
+    return CodecStatus::Error("footer declared " +
+                              std::to_string(footer_txns) + " txns, found " +
                               std::to_string(out->txns.size()));
   }
   return CodecStatus::Ok();

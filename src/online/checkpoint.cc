@@ -1,0 +1,443 @@
+#include "online/checkpoint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+
+#include "core/state_io.h"
+
+#ifdef _WIN32
+#include <io.h>
+#define chronos_fsync _commit
+#define chronos_fileno _fileno
+#else
+#include <unistd.h>
+#define chronos_fsync fsync
+#define chronos_fileno fileno
+#endif
+
+namespace chronos::online {
+
+namespace {
+
+constexpr char kWalHeader[] = "chronos-wal v1\n";
+constexpr uint64_t kCkptMagic = 0x43484B5054763101ULL;   // "CHKPTv1" + 1
+constexpr uint64_t kCkptFooter = 0x454E44434B505401ULL;  // "ENDCKPT" + 1
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+// Serializes one transaction in the hist/codec.h line shapes, so WAL
+// records are inspectable with the same eyes as .hist files.
+void AppendTxnLines(std::string* out, const Transaction& t) {
+  AppendF(out, "T %" PRIu64 " %u %" PRIu64 " %" PRIu64 " %" PRIu64 " %zu\n",
+          t.tid, t.sid, t.sno, t.start_ts, t.commit_ts, t.ops.size());
+  for (const Op& op : t.ops) {
+    switch (op.type) {
+      case OpType::kRead:
+        AppendF(out, "R %" PRIu64 " %" PRId64 "\n", op.key, op.value);
+        break;
+      case OpType::kWrite:
+        AppendF(out, "W %" PRIu64 " %" PRId64 "\n", op.key, op.value);
+        break;
+      case OpType::kAppend:
+        AppendF(out, "A %" PRIu64 " %" PRId64 "\n", op.key, op.value);
+        break;
+      case OpType::kReadList: {
+        const std::vector<Value>& elems = t.list_args[op.list_index];
+        AppendF(out, "L %" PRIu64 " %zu", op.key, elems.size());
+        for (Value e : elems) AppendF(out, " %" PRId64, e);
+        out->push_back('\n');
+        break;
+      }
+    }
+  }
+}
+
+// Pulls the next newline-terminated line out of `s` starting at *pos.
+// Returns false (leaving *pos alone) when no complete line remains —
+// a torn tail.
+bool NextLine(const std::string& s, size_t* pos, std::string* line) {
+  size_t nl = s.find('\n', *pos);
+  if (nl == std::string::npos) return false;
+  line->assign(s, *pos, nl - *pos);
+  *pos = nl + 1;
+  return true;
+}
+
+// Parses one codec-shaped op line into `t`. Returns false on any
+// malformed field.
+bool ParseOpLine(const std::string& line, Transaction* t) {
+  if (line.empty()) return false;
+  char tag = line[0];
+  const char* p = line.c_str() + 1;
+  char* end = nullptr;
+  if (tag == 'R' || tag == 'W' || tag == 'A') {
+    Op op;
+    op.type = tag == 'R' ? OpType::kRead
+                         : tag == 'W' ? OpType::kWrite : OpType::kAppend;
+    op.key = strtoull(p, &end, 10);
+    if (end == p) return false;
+    p = end;
+    op.value = strtoll(p, &end, 10);
+    if (end == p) return false;
+    t->ops.push_back(op);
+    return true;
+  }
+  if (tag == 'L') {
+    Op op;
+    op.type = OpType::kReadList;
+    op.key = strtoull(p, &end, 10);
+    if (end == p) return false;
+    p = end;
+    unsigned long long n = strtoull(p, &end, 10);
+    if (end == p) return false;
+    p = end;
+    std::vector<Value> elems;
+    elems.reserve(n);
+    for (unsigned long long i = 0; i < n; ++i) {
+      Value v = strtoll(p, &end, 10);
+      if (end == p) return false;
+      p = end;
+      elems.push_back(v);
+    }
+    op.list_index = static_cast<uint32_t>(t->list_args.size());
+    t->list_args.push_back(std::move(elems));
+    t->ops.push_back(op);
+    return true;
+  }
+  return false;
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (!f) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  bool ok = !ferror(f);
+  fclose(f);
+  return ok;
+}
+
+// tmp + fsync + rename: the destination either keeps its old content or
+// holds the complete new content, never a torn prefix.
+bool WriteFileAtomic(const std::string& path, const char* data, size_t len) {
+  std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  bool ok = fwrite(data, 1, len, f) == len && fflush(f) == 0 &&
+            chronos_fsync(chronos_fileno(f)) == 0;
+  ok = (fclose(f) == 0) && ok;
+  if (!ok) {
+    remove(tmp.c_str());
+    return false;
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WalWriter
+
+bool WalWriter::Open(const std::string& path, uint64_t truncate_to) {
+  if (f_) return false;
+  if (truncate_to > 0) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, truncate_to, ec);
+    if (ec) return false;
+  }
+  f_ = fopen(path.c_str(), "ab");
+  if (!f_) return false;
+  long at = ftell(f_);
+  if (at == 0) {
+    if (fwrite(kWalHeader, 1, sizeof(kWalHeader) - 1, f_) !=
+        sizeof(kWalHeader) - 1) {
+      fclose(f_);
+      f_ = nullptr;
+      return false;
+    }
+  }
+  return fflush(f_) == 0;
+}
+
+WalWriter::~WalWriter() {
+  if (f_) fclose(f_);
+}
+
+bool WalWriter::Append(const std::string& body) {
+  if (!f_) return false;
+  uint64_t sum = Fnv1a(body.data(), body.size());
+  std::string rec = body;
+  AppendF(&rec, "E %016" PRIx64 "\n", sum);
+  return fwrite(rec.data(), 1, rec.size(), f_) == rec.size() &&
+         fflush(f_) == 0;
+}
+
+bool WalWriter::LogStep(const WalRecord& rec) {
+  std::string body;
+  AppendF(&body, "B %" PRIu64 " T %" PRIu64 " %d %" PRIu64 " %d\n", rec.seq,
+          rec.now_ms, rec.gc ? 1 : 0, rec.gc_target, rec.shed ? 1 : 0);
+  AppendTxnLines(&body, rec.txn);
+  return Append(body);
+}
+
+bool WalWriter::Sync() {
+  return f_ && fflush(f_) == 0 && chronos_fsync(chronos_fileno(f_)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// ReadWal
+
+bool ReadWal(const std::string& path, std::vector<WalRecord>* records,
+             uint64_t* valid_bytes) {
+  records->clear();
+  *valid_bytes = 0;
+  std::string data;
+  if (!ReadWholeFile(path, &data)) return false;
+  const size_t header_len = sizeof(kWalHeader) - 1;
+  if (data.size() < header_len ||
+      data.compare(0, header_len, kWalHeader) != 0) {
+    return false;
+  }
+  size_t pos = header_len;
+  *valid_bytes = pos;
+  for (;;) {
+    size_t rec_start = pos;
+    std::string line;
+    if (!NextLine(data, &pos, &line)) break;  // torn or end of file
+    WalRecord rec;
+    int gc = 0, shed = 0;
+    if (sscanf(line.c_str(), "B %" SCNu64 " T %" SCNu64 " %d %" SCNu64 " %d",
+               &rec.seq, &rec.now_ms, &gc, &rec.gc_target, &shed) != 5) {
+      break;
+    }
+    rec.gc = gc != 0;
+    rec.shed = shed != 0;
+    std::string tline;
+    size_t nops = 0;
+    if (!NextLine(data, &pos, &tline) ||
+        sscanf(tline.c_str(), "T %" SCNu64 " %u %" SCNu64 " %" SCNu64
+                              " %" SCNu64 " %zu",
+               &rec.txn.tid, &rec.txn.sid, &rec.txn.sno, &rec.txn.start_ts,
+               &rec.txn.commit_ts, &nops) != 6) {
+      break;
+    }
+    bool body_ok = true;
+    for (size_t i = 0; i < nops && body_ok; ++i) {
+      std::string opline;
+      body_ok = NextLine(data, &pos, &opline) && ParseOpLine(opline, &rec.txn);
+    }
+    if (!body_ok) break;
+    // Checksum line covers everything from the 'B' line through the last
+    // body line, newline included.
+    size_t body_end = pos;
+    std::string eline;
+    uint64_t want = 0;
+    if (!NextLine(data, &pos, &eline) ||
+        sscanf(eline.c_str(), "E %" SCNx64, &want) != 1 ||
+        Fnv1a(data.data() + rec_start, body_end - rec_start) != want) {
+      break;
+    }
+    records->push_back(std::move(rec));
+    *valid_bytes = pos;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager
+
+CheckpointManager::CheckpointManager(std::string dir) : dir_(std::move(dir)) {
+  for (const auto& [seq, path] : List(dir_)) {
+    (void)path;
+    if (seq >= next_seq_) next_seq_ = seq + 1;
+  }
+}
+
+std::vector<std::pair<uint64_t, std::string>> CheckpointManager::List(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    int consumed = 0;
+    if (sscanf(name.c_str(), "ckpt-%" SCNu64 ".ckpt%n", &seq, &consumed) == 1 &&
+        consumed == static_cast<int>(name.size())) {
+      out.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool CheckpointManager::Write(const ShardedAion::StateImage& img,
+                              uint64_t wal_seq, uint64_t events, size_t keep) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  StateWriter w;
+  w.U64(kCkptMagic);
+  w.U64(next_seq_);
+  w.U64(wal_seq);
+  w.U64(events);
+  w.U64(2 + img.shards.size());
+  // Header checksum: the five leading u64s carry the replay metadata
+  // (which WAL records the image covers) — a flipped bit there would
+  // silently skip or double-replay records, so it must fail the load
+  // just as loudly as a corrupt section.
+  w.U64(Fnv1a(w.data().data(), w.data().size()));
+  auto section = [&w](const std::string& s) {
+    w.Bytes(s.data(), s.size());
+    w.U64(Fnv1a(s.data(), s.size()));
+  };
+  section(img.ingress);
+  section(img.coordinator);
+  for (const std::string& s : img.shards) section(s);
+  w.U64(kCkptFooter);
+
+  char name[64];
+  snprintf(name, sizeof(name), "/ckpt-%" PRIu64 ".ckpt", next_seq_);
+  if (!WriteFileAtomic(dir_ + name, w.data().data(), w.data().size())) {
+    return false;
+  }
+  ++next_seq_;
+
+  auto all = List(dir_);
+  while (all.size() > keep) {
+    remove(all.front().second.c_str());
+    all.erase(all.begin());
+  }
+  return true;
+}
+
+bool CheckpointManager::Load(const std::string& path, Loaded* out) {
+  std::string data;
+  if (!ReadWholeFile(path, &data)) return false;
+  StateReader r(data);
+  if (r.U64() != kCkptMagic) return false;
+  out->ckpt_seq = r.U64();
+  out->wal_seq = r.U64();
+  out->events = r.U64();
+  uint64_t nsections = r.U64();
+  if (!r.ok() || nsections < 2 || nsections > 2 + 64) return false;
+  if (data.size() < 40 || r.U64() != Fnv1a(data.data(), 40) || !r.ok()) {
+    return false;
+  }
+  auto section = [&r](std::string* s) {
+    *s = r.Bytes();
+    return r.ok() && Fnv1a(s->data(), s->size()) == r.U64() && r.ok();
+  };
+  if (!section(&out->img.ingress) || !section(&out->img.coordinator)) {
+    return false;
+  }
+  out->img.shards.resize(nsections - 2);
+  for (std::string& s : out->img.shards) {
+    if (!section(&s)) return false;
+  }
+  if (r.U64() != kCkptFooter || !r.ok() || !r.AtEnd()) return false;
+  // The coordinator section leads with the shard count; cross-check it
+  // against the section count so a truncated-and-repadded file can't
+  // smuggle a mismatched geometry past the checksums.
+  StateReader peek(out->img.coordinator);
+  out->num_shards = peek.U64();
+  return peek.ok() && out->num_shards == nsections - 2;
+}
+
+// ---------------------------------------------------------------------------
+// DurableRunner
+
+DurableRunner::DurableRunner(ShardedAion* checker, const Options& opts,
+                             uint64_t start_seq, uint64_t start_events,
+                             uint64_t wal_truncate_to)
+    : checker_(checker),
+      opts_(opts),
+      ckpts_(opts.dir),
+      next_seq_(start_seq),
+      events_(start_events) {
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.dir, ec);
+  ok_ = wal_.Open(opts_.dir + "/wal.log", wal_truncate_to);
+}
+
+bool DurableRunner::Checkpoint() {
+  if (!ok_) return false;
+  // The WAL must be durable up to the cut the image covers: otherwise a
+  // crash could leave a checkpoint that references records the log lost.
+  if (!wal_.Sync()) {
+    ok_ = false;
+    return false;
+  }
+  ShardedAion::StateImage img = checker_->ExportState();
+  if (!ckpts_.Write(img, next_seq_ - 1, events_, opts_.keep_checkpoints)) {
+    ok_ = false;
+    return false;
+  }
+  ++checkpoints_;
+  return true;
+}
+
+bool DurableRunner::Feed(const Transaction& t, uint64_t now_ms) {
+  if (!ok_) return false;
+  checker_->OnTransaction(t, now_ms);
+  ++events_;
+
+  WalRecord rec;
+  rec.seq = next_seq_;
+  rec.now_ms = now_ms;
+  rec.txn = t;
+  rec.gc_target = opts_.gc_target;
+  rec.gc =
+      opts_.gc_every_events > 0 && events_ % opts_.gc_every_events == 0;
+  if (rec.gc) checker_->GcToLiveTarget(opts_.gc_target);
+
+  // Bounded-memory degradation, on a fixed cadence with the barrier-
+  // exact footprint so the decision is a pure function of the event
+  // prefix: GC as far as the safe watermark allows, then trim list
+  // buffers below it.
+  if (opts_.memory_ceiling_bytes > 0 && opts_.ceiling_check_every > 0 &&
+      events_ % opts_.ceiling_check_every == 0 &&
+      checker_->FootprintExact().approx_bytes > opts_.memory_ceiling_bytes) {
+    rec.shed = true;
+    checker_->Gc(std::numeric_limits<Timestamp>::max());
+    checker_->ShedMemory();
+    ++sheds_;
+  }
+
+  // The whole step lands as one atomic record: a crash can lose the
+  // step entirely (the caller refeeds it and the decisions above are
+  // re-derived identically) but never split it.
+  if (!wal_.LogStep(rec)) {
+    ok_ = false;
+    return false;
+  }
+  ++next_seq_;
+
+  if (rec.shed) {
+    if (!Checkpoint()) return false;  // persist the shrunken state
+  } else if (opts_.checkpoint_every_events > 0 &&
+             events_ % opts_.checkpoint_every_events == 0) {
+    if (!Checkpoint()) return false;
+  }
+  return true;
+}
+
+}  // namespace chronos::online

@@ -1,0 +1,188 @@
+// Crash-safe durability for the online checker: periodic checkpoints of
+// the full ShardedAion state plus a write-ahead log of input events, so
+// a killed checker process resumes verdict-identical to an uninterrupted
+// run (see ROADMAP "Checkpoint & recovery").
+//
+// Determinism basis: every verdict, stat and watermark of the checker is
+// a pure function of the arrival sequence (transaction, now_ms) and the
+// driver's GC/shed decisions, all of which the WAL records. A checkpoint
+// is therefore only ever taken at a quiescent cut (ExportState drains
+// the shard pipeline), and recovery = newest valid checkpoint + WAL
+// replay of the records past its cut.
+//
+// Checkpoint file (ckpt-<seq>.ckpt, binary, written tmp+fsync+rename):
+//   u64 magic | u64 ckpt_seq | u64 wal_seq | u64 events | u64 nsections
+//   u64 fnv1a(previous 40 bytes)      header checksum (replay metadata)
+//   per section: u64 len | bytes | u64 fnv1a(bytes)
+//   u64 footer magic
+// Sections are [ingress, coordinator, shard 0..N-1] in StateImage order;
+// the coordinator section begins with the shard count, so recovery can
+// size the checker without being told --shards. The two newest
+// checkpoints are retained: a torn or corrupt newest file falls back to
+// its predecessor (plus a longer WAL replay).
+//
+// WAL (wal.log, text, one record per Feed step, codec line discipline):
+//   chronos-wal v1
+//   B <seq> T <now_ms> <gc> <gc_target> <shed>
+//   T <tid> <sid> <sno> ...     codec transaction block (hist/codec.h)
+//   R|W|A|L ...
+//   E <fnv1a-hex>               checksum of the record body ('B'..'\n')
+// One record describes EVERYTHING the runner did for one arrival: feed
+// the transaction, then (gc=1) GcToLiveTarget(gc_target), then (shed=1)
+// the ceiling shed (max GC + list-buffer trim). The record is written
+// atomically AFTER those decisions, so a crash leaves either the whole
+// step or none of it — there is no window where replay would feed the
+// arrival but lose its GC/shed, which would fork the recovered state
+// from the uninterrupted run. (A step lost entirely is refed by the
+// caller; its decisions are re-derived deterministically: the GC cadence
+// from the event count, the shed from the barrier-exact footprint.)
+// A torn tail (partial record, bad checksum) ends replay at the last
+// valid record; recovery truncates the file there before appending.
+#ifndef CHRONOS_ONLINE_CHECKPOINT_H_
+#define CHRONOS_ONLINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "online/sharded_aion.h"
+
+namespace chronos::online {
+
+/// One parsed WAL record: a full Feed step.
+struct WalRecord {
+  uint64_t seq = 0;
+  uint64_t now_ms = 0;
+  Transaction txn;
+  bool gc = false;          ///< GcToLiveTarget(gc_target) after the feed
+  uint64_t gc_target = 0;
+  bool shed = false;        ///< ceiling shed (max GC + trim) after that
+};
+
+/// Appends checksummed records to a WAL file. Not thread-safe; owned by
+/// the driver thread.
+class WalWriter {
+ public:
+  /// Opens `path` for append, writing the header when the file is new
+  /// (or empty). `truncate_to` > 0 first truncates the file to that many
+  /// bytes — recovery uses it to drop a torn tail before resuming.
+  bool Open(const std::string& path, uint64_t truncate_to = 0);
+  ~WalWriter();
+
+  bool LogStep(const WalRecord& rec);
+  /// Flushes user-space buffers and fsyncs (checkpoint boundaries).
+  bool Sync();
+
+ private:
+  bool Append(const std::string& body);
+
+  FILE* f_ = nullptr;
+};
+
+/// Parses a WAL file. `records` receives every valid record in order;
+/// `valid_bytes` the file offset just past the last valid record (the
+/// truncation point for resuming). Returns false only when the file
+/// cannot be read at all or its header is wrong — a torn tail is a
+/// normal, expected outcome, not an error.
+bool ReadWal(const std::string& path, std::vector<WalRecord>* records,
+             uint64_t* valid_bytes);
+
+/// Checkpoint writer/loader for one durability directory.
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string dir);
+
+  /// Writes `img` as the next checkpoint (tmp + fsync + rename), then
+  /// prunes to the `keep` newest. `wal_seq` is the last WAL record the
+  /// image covers and `events` the arrival count it covers.
+  bool Write(const ShardedAion::StateImage& img, uint64_t wal_seq,
+             uint64_t events, size_t keep = 2);
+
+  uint64_t next_seq() const { return next_seq_; }
+  const std::string& dir() const { return dir_; }
+
+  /// A successfully parsed and checksum-verified checkpoint.
+  struct Loaded {
+    ShardedAion::StateImage img;
+    uint64_t ckpt_seq = 0;
+    uint64_t wal_seq = 0;
+    uint64_t events = 0;
+    size_t num_shards = 0;
+  };
+  /// Strict load: any framing, length or checksum mismatch fails.
+  static bool Load(const std::string& path, Loaded* out);
+
+  /// (seq, path) of every ckpt-<seq>.ckpt in `dir`, ascending by seq.
+  static std::vector<std::pair<uint64_t, std::string>> List(
+      const std::string& dir);
+
+ private:
+  std::string dir_;
+  uint64_t next_seq_ = 1;
+};
+
+/// Drives a ShardedAion durably: every Feed step (arrival + GC cadence
+/// + ceiling decision) becomes one atomic WAL record, checkpoints are
+/// cut every `checkpoint_every_events` arrivals, and when
+/// `memory_ceiling_bytes` is exceeded the runner GCs, sheds list memory
+/// (the bounded-memory degradation path), and checkpoints the shrunken
+/// state. A kill at any byte of this sequence recovers
+/// verdict-identical via Recover() (online/recovery.h).
+class DurableRunner {
+ public:
+  struct Options {
+    std::string dir;                     ///< checkpoints + wal.log
+    uint64_t checkpoint_every_events = 0;  ///< 0: only ceiling checkpoints
+    size_t gc_every_events = 0;          ///< GcToLiveTarget cadence (0: off)
+    size_t gc_target = 0;
+    size_t memory_ceiling_bytes = 0;     ///< 0: no ceiling
+    /// Ceiling checks run every this-many events with the barrier-exact
+    /// footprint: the check is deterministic (so replay and refeed make
+    /// the same shed decisions) at the cost of one pipeline drain per
+    /// check; the footprint can overshoot the ceiling by at most the
+    /// growth of one check interval.
+    size_t ceiling_check_every = 16;
+    size_t keep_checkpoints = 2;
+  };
+
+  /// `start_seq`/`start_events` resume the WAL numbering after recovery
+  /// (1/0 for a fresh run). `wal_truncate_to` drops a torn tail first.
+  DurableRunner(ShardedAion* checker, const Options& opts,
+                uint64_t start_seq = 1, uint64_t start_events = 0,
+                uint64_t wal_truncate_to = 0);
+
+  /// Feeds one arrival, runs the GC cadence and the ceiling check, logs
+  /// the whole step as one atomic WAL record, then runs the checkpoint
+  /// cadence. Returns false on an I/O failure.
+  bool Feed(const Transaction& t, uint64_t now_ms);
+
+  /// Cuts a checkpoint now (also used by tests to force boundaries).
+  bool Checkpoint();
+
+  /// Finalizes the checker (end of stream; not WAL-logged).
+  void Finish() { checker_->Finish(); }
+
+  bool ok() const { return ok_; }
+  uint64_t events() const { return events_; }
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t checkpoints_written() const { return checkpoints_; }
+  uint64_t sheds() const { return sheds_; }
+
+ private:
+  ShardedAion* checker_;
+  Options opts_;
+  CheckpointManager ckpts_;
+  WalWriter wal_;
+  uint64_t next_seq_ = 1;
+  uint64_t events_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t sheds_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace chronos::online
+
+#endif  // CHRONOS_ONLINE_CHECKPOINT_H_

@@ -1,0 +1,56 @@
+// Crash recovery for the durable online checker (online/checkpoint.h):
+// reconstructs a ShardedAion from the newest valid checkpoint plus a WAL
+// replay of every record past the checkpoint's cut. Because the checker
+// is a pure function of its input sequence, the recovered instance is
+// verdict-identical to one that never crashed — same violation bytes,
+// same stats, same watermark — which the kill-point tests enforce at
+// every crash offset.
+#ifndef CHRONOS_ONLINE_RECOVERY_H_
+#define CHRONOS_ONLINE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/online_checker.h"
+#include "core/violation.h"
+#include "online/sharded_aion.h"
+
+namespace chronos::online {
+
+struct RecoverResult {
+  /// Null iff recovery failed outright (see `error`). On success the
+  /// checker has absorbed the checkpoint and the WAL tail and is ready
+  /// for more arrivals.
+  std::unique_ptr<ShardedAion> checker;
+  /// Next WAL sequence number to append (pass to DurableRunner).
+  uint64_t next_seq = 1;
+  /// Arrivals already consumed (checkpoint + replay): the caller resumes
+  /// its input stream at this index.
+  uint64_t events = 0;
+  /// Byte offset of the WAL's last valid record end. Pass to
+  /// DurableRunner as `wal_truncate_to` so a torn tail is dropped before
+  /// new records are appended.
+  uint64_t wal_truncate_to = 0;
+  /// Sequence of the checkpoint used (0: none; replay covered the run).
+  uint64_t ckpt_seq = 0;
+  bool from_checkpoint = false;
+  /// True when the newest checkpoint was corrupt/torn and recovery fell
+  /// back to an older one (or to WAL-only replay).
+  bool used_fallback = false;
+  std::string error;  ///< non-empty on failure
+};
+
+/// Recovers from `dir` (checkpoints + wal.log). Tries checkpoints newest
+/// first, discarding any that fail checksum/framing validation or state
+/// import; with no usable checkpoint, replays the WAL from the start
+/// into a fresh checker with `default_shards` shards. `options` must
+/// match the crashed run's (same mode, timeout, and spill_dir — the
+/// imported spill manifests reference epoch files under it).
+RecoverResult Recover(const CheckerOptions& options, const std::string& dir,
+                      ViolationSink* sink, size_t default_shards = 1,
+                      size_t cmd_batch = 256, size_t queue_capacity = 8192);
+
+}  // namespace chronos::online
+
+#endif  // CHRONOS_ONLINE_RECOVERY_H_

@@ -18,6 +18,52 @@ uint64_t MixKey(Key key) {
   return x ^ (x >> 31);
 }
 
+void WriteStats(StateWriter* w, const CheckerStats& s) {
+  w->U64(s.txns_processed);
+  w->U64(s.ext_rechecks);
+  w->U64(s.noconflict_checks);
+  w->U64(s.spill_reloads);
+  w->U64(s.unsafe_below_watermark);
+  w->U64(s.unsafe_below_horizon);
+  w->U64(s.corrupt_spill_epochs);
+  w->U64(s.gc_passes);
+}
+
+void ReadStats(StateReader* r, CheckerStats* s) {
+  s->txns_processed = r->U64();
+  s->ext_rechecks = r->U64();
+  s->noconflict_checks = r->U64();
+  s->spill_reloads = r->U64();
+  s->unsafe_below_watermark = r->U64();
+  s->unsafe_below_horizon = r->U64();
+  s->corrupt_spill_epochs = r->U64();
+  s->gc_passes = r->U64();
+}
+
+void WriteViolation(StateWriter* w, Timestamp order_ts, const Violation& v) {
+  w->U64(order_ts);
+  w->U8(static_cast<uint8_t>(v.type));
+  w->U64(v.tid);
+  w->U64(v.other_tid);
+  w->U64(v.key);
+  w->I64(v.expected);
+  w->I64(v.got);
+  w->I64(v.divergence);
+}
+
+Violation ReadViolation(StateReader* r, Timestamp* order_ts) {
+  *order_ts = r->U64();
+  Violation v;
+  v.type = static_cast<ViolationType>(r->U8());
+  v.tid = r->U64();
+  v.other_tid = r->U64();
+  v.key = r->U64();
+  v.expected = r->I64();
+  v.got = r->I64();
+  v.divergence = r->I64();
+  return v;
+}
+
 }  // namespace
 
 ShardedAion::ShardedAion(const Options& options, size_t num_shards,
@@ -266,6 +312,106 @@ void ShardedAion::EmitViolations() {
   for (const TaggedViolation& tv : all) sink_->Report(tv.v);
 }
 
+ShardedAion::StateImage ShardedAion::ExportState() {
+  WaitAll();
+  StateImage img;
+  {
+    StateWriter w;
+    ingress_.Serialize(&w);
+    img.ingress = w.Take();
+  }
+  {
+    StateWriter w;
+    w.U64(shards_.size());
+    WriteStats(&w, coord_stats_);
+    w.U64(coord_violations_.size());
+    for (const TaggedViolation& tv : coord_violations_) {
+      WriteViolation(&w, tv.order_ts, tv.v);
+    }
+    std::vector<std::pair<TxnId, uint64_t>> masks(read_shard_mask_.begin(),
+                                                  read_shard_mask_.end());
+    std::sort(masks.begin(), masks.end());
+    w.U64(masks.size());
+    for (const auto& [tid, mask] : masks) {
+      w.U64(tid);
+      w.U64(mask);
+    }
+    img.coordinator = w.Take();
+  }
+  img.shards.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    StateWriter w;
+    WriteStats(&w, shard->stats);
+    shard->flips.Serialize(&w);
+    w.U64(shard->violations.size());
+    for (const TaggedViolation& tv : shard->violations) {
+      WriteViolation(&w, tv.order_ts, tv.v);
+    }
+    shard->engine->Serialize(&w);
+    img.shards.push_back(w.Take());
+  }
+  return img;
+}
+
+bool ShardedAion::ImportState(const StateImage& img) {
+  if (img.shards.size() != shards_.size()) return false;
+  WaitAll();
+  {
+    StateReader r(img.ingress);
+    if (!ingress_.Deserialize(&r) || !r.AtEnd()) return false;
+  }
+  {
+    StateReader r(img.coordinator);
+    if (r.U64() != shards_.size()) return false;
+    ReadStats(&r, &coord_stats_);
+    coord_violations_.clear();
+    uint64_t nv = r.U64();
+    for (uint64_t i = 0; i < nv && r.ok(); ++i) {
+      Timestamp order_ts;
+      Violation v = ReadViolation(&r, &order_ts);
+      coord_violations_.push_back({order_ts, v});
+    }
+    read_shard_mask_.clear();
+    uint64_t nm = r.U64();
+    for (uint64_t i = 0; i < nm && r.ok(); ++i) {
+      TxnId tid = r.U64();
+      uint64_t mask = r.U64();
+      read_shard_mask_[tid] = mask;
+    }
+    if (!r.ok() || !r.AtEnd()) return false;
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    StateReader r(img.shards[s]);
+    ReadStats(&r, &shard.stats);
+    if (!shard.flips.Deserialize(&r)) return false;
+    shard.violations.clear();
+    uint64_t nv = r.U64();
+    for (uint64_t i = 0; i < nv && r.ok(); ++i) {
+      Timestamp order_ts;
+      Violation v = ReadViolation(&r, &order_ts);
+      shard.violations.push_back({order_ts, v});
+    }
+    if (!shard.engine->Deserialize(&r) || !r.AtEnd()) return false;
+    shard.versions.store(shard.engine->TotalVersions(),
+                         std::memory_order_relaxed);
+    shard.intervals.store(shard.engine->TotalIntervals(),
+                          std::memory_order_relaxed);
+    shard.approx_bytes.store(shard.engine->ApproxBytes(),
+                             std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ShardedAion::ShedMemory() {
+  WaitAll();
+  for (auto& shard : shards_) {
+    shard->engine->TrimListsBelowHorizon();
+    shard->approx_bytes.store(shard->engine->ApproxBytes(),
+                              std::memory_order_relaxed);
+  }
+}
+
 CheckerStats ShardedAion::stats() {
   WaitAll();
   CheckerStats merged = coord_stats_;
@@ -292,6 +438,13 @@ CheckerFootprint ShardedAion::GetFootprint() const {
   f.approx_bytes = engine_bytes + f.live_txns * 160 + f.intervals * 64 +
                    ingress_.used_ts_count() * 48;
   return f;
+}
+
+CheckerFootprint ShardedAion::FootprintExact() {
+  // After the barrier the per-shard mirrors reflect every issued
+  // command, so the estimate is deterministic for a given event prefix.
+  WaitAll();
+  return GetFootprint();
 }
 
 }  // namespace chronos::online

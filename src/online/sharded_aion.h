@@ -80,6 +80,12 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   /// most one command batch (exact after Finish()/stats()).
   CheckerFootprint GetFootprint() const override;
 
+  /// Exact footprint: drains every dispatched command first, so the
+  /// result is a pure function of the events consumed — the durable
+  /// runner's memory-ceiling decisions use this to stay reproducible
+  /// across crash/recovery (online/checkpoint.h).
+  CheckerFootprint FootprintExact();
+
   /// Merged stats across the coordinator and all shards. Blocks until
   /// every dispatched command has executed.
   CheckerStats stats();
@@ -89,6 +95,28 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
 
   size_t num_shards() const { return shards_.size(); }
   Timestamp watermark() const { return ingress_.watermark(); }
+
+  /// Crash-safe checkpoint support (online/checkpoint.h): a full state
+  /// image, one byte-deterministic section per component. ExportState
+  /// drains every dispatched command first (the workers' done-barrier
+  /// mutex makes the subsequent coordinator-side reads race-free);
+  /// ImportState assumes a freshly constructed checker with the same
+  /// options and shard count, whose spill directories still hold the
+  /// epoch files the serialized manifests reference. The coordinator
+  /// section begins with the shard count so recovery can size the
+  /// checker before parsing the rest.
+  struct StateImage {
+    std::string ingress;
+    std::string coordinator;  ///< shard count, stats, violations, masks
+    std::vector<std::string> shards;  ///< stats + flips + violations + engine
+  };
+  StateImage ExportState();
+  bool ImportState(const StateImage& img);
+
+  /// Memory-ceiling degradation: drains dispatched work, then trims list
+  /// element buffers below the watermark on every shard (see
+  /// OnlineChecker::ShedMemory).
+  void ShedMemory() override;
 
  private:
   struct ShardCmd {

@@ -9,8 +9,10 @@
 
 #include "core/event_timeline.h"
 #include "core/interval_tree.h"
+#include "core/list_kv.h"
 #include "core/small_map.h"
 #include "core/spill.h"
+#include "core/state_io.h"
 #include "core/versioned_kv.h"
 
 namespace chronos {
@@ -197,7 +199,7 @@ TEST(SpillStoreTest, RoundTripsPayload) {
   uint64_t id = store.Spill(payload);
   ASSERT_NE(id, 0u);
   SpillPayload loaded;
-  ASSERT_TRUE(store.Load(id, &loaded));
+  ASSERT_EQ(store.Load(id, &loaded), SpillStore::LoadStatus::kOk);
   ASSERT_EQ(loaded.versions.size(), 2u);
   EXPECT_EQ(std::get<0>(loaded.versions[0]), 1u);
   EXPECT_EQ(std::get<2>(loaded.versions[1]).value, -3);
@@ -220,6 +222,116 @@ TEST(SpillStoreTest, EmptyPayloadNotSpilled) {
   EXPECT_EQ(store.Spill(SpillPayload{}), 0u);
   EXPECT_EQ(store.NumEpochs(), 0u);
   std::filesystem::remove_all(dir);
+}
+
+TEST(SpillStoreTest, DistinguishesMissingFromCorruptEpochs) {
+  std::string dir = ::testing::TempDir() + "/spill_tristate";
+  std::filesystem::remove_all(dir);
+  SpillStore store(dir);
+  SpillPayload payload;
+  payload.max_ts = 50;
+  payload.versions.emplace_back(1, 10, VersionEntry{7, 42});
+  uint64_t id = store.Spill(payload);
+  ASSERT_NE(id, 0u);
+
+  SpillPayload loaded;
+  EXPECT_EQ(store.Load(id, &loaded), SpillStore::LoadStatus::kOk);
+  // An epoch id that was never spilled.
+  EXPECT_EQ(store.Load(id + 99, &loaded), SpillStore::LoadStatus::kMissing);
+
+  // A file that vanished (e.g. deleted out from under the checker).
+  std::string path = store.PathFor(id);
+  std::string bytes;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = fread(buf, 1, sizeof(buf), f);
+    bytes.assign(buf, n);
+    fclose(f);
+  }
+  std::filesystem::remove(path);
+  EXPECT_EQ(store.Load(id, &loaded), SpillStore::LoadStatus::kMissing);
+
+  // A file that is present but unparseable — integrity failure, not a
+  // silent miss (counted as CheckerStats::corrupt_spill_epochs by the
+  // consulting engine).
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("not a spill epoch\n", f);
+    fclose(f);
+  }
+  EXPECT_EQ(store.Load(id, &loaded), SpillStore::LoadStatus::kCorrupt);
+
+  // Truncations of the real payload must read as corrupt, not kOk.
+  for (size_t len = 1; len + 1 < bytes.size(); len += 3) {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(bytes.data(), 1, len, f);
+    fclose(f);
+    EXPECT_NE(store.Load(id, &loaded), SpillStore::LoadStatus::kOk)
+        << "len " << len;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ListKvTrimTest, TrimToHashesBaseRegionOnly) {
+  ListKv kv;
+  ASSERT_TRUE(kv.Put(1, 10, {1, 2}, 100));
+  ASSERT_TRUE(kv.Put(1, 20, {3}, 101));
+  ASSERT_TRUE(kv.Put(1, 30, {4, 5}, 102));
+  // Collapse boundaries <= 20 into the base so its region spans [0, 3).
+  std::vector<ListSpillVersion> evicted;
+  kv.CollectUpTo(20, &evicted);
+
+  // Horizon below the base: nothing to trim.
+  EXPECT_EQ(kv.TrimTo(15), 0u);
+  EXPECT_EQ(kv.TrimmedLen(1), 0u);
+
+  // Horizon at the base: its whole region is hashed away.
+  EXPECT_EQ(kv.TrimTo(20), 3u);
+  EXPECT_EQ(kv.TrimmedLen(1), 3u);
+  EXPECT_EQ(kv.TotalTrimmed(), 3u);
+  // Idempotent: already trimmed this far.
+  EXPECT_EQ(kv.TrimTo(20), 0u);
+
+  ListKv::Prefix p = kv.PrefixAt(1, 30, /*inclusive=*/true);
+  EXPECT_EQ(p.len, 5u);
+  EXPECT_EQ(p.trimmed, 3u);
+  EXPECT_FALSE(p.hash_tainted);
+  const Value expect[] = {1, 2, 3};
+  EXPECT_EQ(p.trimmed_hash, Fnv1a(expect, sizeof(expect)));
+  ASSERT_NE(p.data, nullptr);
+  EXPECT_EQ(p.data[0], 4);  // data starts at the trim cut
+  EXPECT_EQ(p.data[1], 5);
+
+  // A view resolving at the base sees a fully hashed prefix.
+  ListKv::Prefix base = kv.PrefixAt(1, 20, /*inclusive=*/true);
+  EXPECT_EQ(base.len, 3u);
+  EXPECT_EQ(base.trimmed, 3u);
+}
+
+TEST(ListKvTrimTest, StragglerIntoTrimmedRegionTaintsHash) {
+  ListKv kv;
+  ASSERT_TRUE(kv.Put(1, 10, {1, 2}, 100));
+  ASSERT_TRUE(kv.Put(1, 30, {3}, 101));
+  std::vector<ListSpillVersion> evicted;
+  kv.CollectUpTo(10, &evicted);
+  ASSERT_EQ(kv.TrimTo(10), 2u);
+
+  // A below-base straggler landing inside the hashed region is absorbed
+  // by it: not materialized, but the hash is no longer verifiable.
+  bool into_trimmed = false;
+  ASSERT_TRUE(kv.PutBelowBase(1, 5, {9}, 102, {}, &into_trimmed));
+  EXPECT_TRUE(into_trimmed);
+  EXPECT_EQ(kv.TrimmedLen(1), 3u);
+
+  ListKv::Prefix p = kv.PrefixAt(1, 30, /*inclusive=*/true);
+  EXPECT_EQ(p.len, 4u);
+  EXPECT_EQ(p.trimmed, 3u);
+  EXPECT_TRUE(p.hash_tainted);
+  ASSERT_NE(kv.MergedBelow(1), nullptr);  // content kept for below-base reads
 }
 
 }  // namespace

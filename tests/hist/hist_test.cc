@@ -91,6 +91,55 @@ TEST(CodecTest, BadHeaderFails) {
   std::filesystem::remove(path);
 }
 
+TEST(CodecTest, MissingEndFooterFails) {
+  // A header-complete file whose txn count matches but that lacks the
+  // `# end txns=<m>` footer is indistinguishable from a file truncated
+  // at a transaction boundary — it must be rejected.
+  std::string path = TempPath("nofooter.hist");
+  FILE* f = fopen(path.c_str(), "w");
+  fprintf(f, "chronos-history v1 sessions=1 txns=1\nT 1 0 0 1 2 1\nR 1 0\n");
+  fclose(f);
+  History h;
+  CodecStatus st = LoadHistory(path, &h);
+  EXPECT_FALSE(st.ok);
+  std::filesystem::remove(path);
+}
+
+TEST(CodecTest, FooterCountMismatchFails) {
+  std::string path = TempPath("badcount.hist");
+  FILE* f = fopen(path.c_str(), "w");
+  fprintf(f,
+          "chronos-history v1 sessions=1 txns=1\nT 1 0 0 1 2 1\nR 1 0\n"
+          "# end txns=2\n");
+  fclose(f);
+  History h;
+  EXPECT_FALSE(LoadHistory(path, &h).ok);
+  std::filesystem::remove(path);
+}
+
+TEST(CodecTest, SaveIsAtomicAndFooterTerminated) {
+  workload::WorkloadParams p;
+  p.sessions = 2;
+  p.txns = 20;
+  p.ops_per_txn = 4;
+  History h = workload::GenerateDefaultHistory(p);
+  std::string path = TempPath("atomic.hist");
+  ASSERT_TRUE(SaveHistory(h, path).ok);
+  // The temp file used for the atomic rename must be gone.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // The last line is the footer with the exact transaction count.
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char line[128];
+  std::string last;
+  while (fgets(line, sizeof(line), f) != nullptr) last = line;
+  fclose(f);
+  EXPECT_EQ(last, "# end txns=20\n");
+  History loaded;
+  EXPECT_TRUE(LoadHistory(path, &loaded).ok);
+  std::filesystem::remove(path);
+}
+
 TEST(CollectorTest, PreservesSessionOrder) {
   workload::WorkloadParams p;
   p.sessions = 8;

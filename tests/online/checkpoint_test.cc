@@ -1,0 +1,532 @@
+// Checkpoint & WAL durability layer (online/checkpoint.h): WAL record
+// roundtrip and torn-tail handling, checkpoint file atomicity, checksum
+// validation and retention, full checker-state export/import identity
+// over workloads that populate every state section (version chains,
+// lists, spill manifests, unfinalized transactions, EXT deadlines,
+// buffered violations), and the --memory-ceiling degradation path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../testutil.h"
+#include "core/state_io.h"
+#include "online/checkpoint.h"
+#include "online/recovery.h"
+#include "online/sharded_aion.h"
+#include "workload/generator.h"
+
+namespace chronos::online {
+namespace {
+
+namespace fs = std::filesystem;
+
+using chronos::testing::SessionPreservingShuffle;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = (fs::temp_directory_path() / "chronos_ckpt_test" / name)
+                        .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+History MakeWorkload(uint64_t txns, uint64_t seed, bool list_mode) {
+  workload::WorkloadParams p;
+  p.sessions = 8;
+  p.txns = txns;
+  p.ops_per_txn = 6;
+  p.keys = 40;
+  p.seed = seed;
+  p.list_mode = list_mode;
+  db::DbConfig cfg;
+  cfg.faults.lost_update_prob = 0.04;
+  cfg.faults.early_commit_prob = 0.03;
+  cfg.faults.ts_swap_prob = 0.02;
+  cfg.fault_seed = seed * 13 + 5;
+  return workload::GenerateDefaultHistory(p, cfg);
+}
+
+Transaction OneTxn() {
+  Transaction t;
+  t.tid = 7;
+  t.sid = 2;
+  t.sno = 3;
+  t.start_ts = 100;
+  t.commit_ts = 120;
+  t.ops.push_back({OpType::kRead, 1, 11, 0});
+  t.ops.push_back({OpType::kWrite, 2, -5, 0});
+  t.ops.push_back({OpType::kAppend, 3, 42, 0});
+  Op l;
+  l.type = OpType::kReadList;
+  l.key = 3;
+  l.list_index = 0;
+  t.ops.push_back(l);
+  t.list_args.push_back({1, -2, 3});
+  return t;
+}
+
+TEST(WalTest, RoundTripAllRecordShapes) {
+  std::string dir = FreshDir("wal_roundtrip");
+  std::string path = dir + "/wal.log";
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.Open(path));
+    WalRecord r1;
+    r1.seq = 1;
+    r1.now_ms = 17;
+    r1.txn = OneTxn();
+    ASSERT_TRUE(w.LogStep(r1));
+    WalRecord r2;
+    r2.seq = 2;
+    r2.now_ms = 18;
+    r2.txn = OneTxn();
+    r2.txn.tid = 8;
+    r2.txn.ops.clear();
+    r2.txn.list_args.clear();
+    r2.gc = true;
+    r2.gc_target = 32;
+    r2.shed = true;
+    ASSERT_TRUE(w.LogStep(r2));
+    ASSERT_TRUE(w.Sync());
+  }
+  std::vector<WalRecord> recs;
+  uint64_t valid = 0;
+  ASSERT_TRUE(ReadWal(path, &recs, &valid));
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(valid, fs::file_size(path));
+  EXPECT_EQ(recs[0].seq, 1u);
+  EXPECT_EQ(recs[0].now_ms, 17u);
+  EXPECT_FALSE(recs[0].gc);
+  EXPECT_FALSE(recs[0].shed);
+  ASSERT_EQ(recs[0].txn.ops.size(), 4u);
+  EXPECT_EQ(recs[0].txn.tid, 7u);
+  EXPECT_EQ(recs[0].txn.sid, 2u);
+  EXPECT_EQ(recs[0].txn.sno, 3u);
+  EXPECT_EQ(recs[0].txn.start_ts, 100u);
+  EXPECT_EQ(recs[0].txn.commit_ts, 120u);
+  EXPECT_EQ(recs[0].txn.ops[1].value, -5);
+  ASSERT_EQ(recs[0].txn.list_args.size(), 1u);
+  EXPECT_EQ(recs[0].txn.list_args[0], (std::vector<Value>{1, -2, 3}));
+  EXPECT_TRUE(recs[1].gc);
+  EXPECT_EQ(recs[1].gc_target, 32u);
+  EXPECT_TRUE(recs[1].shed);
+  EXPECT_EQ(recs[1].txn.ops.size(), 0u);
+}
+
+TEST(WalTest, TornTailStopsAtLastValidRecordAndResumes) {
+  std::string dir = FreshDir("wal_torn");
+  std::string path = dir + "/wal.log";
+  uint64_t size_after_first = 0;
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.Open(path));
+    WalRecord r;
+    r.seq = 1;
+    r.txn = OneTxn();
+    ASSERT_TRUE(w.LogStep(r));
+    size_after_first = fs::file_size(path);
+    r.seq = 2;
+    ASSERT_TRUE(w.LogStep(r));
+  }
+  // Tear the second record at every byte boundary: the first must
+  // survive, the second must be dropped, and the truncation point must
+  // be exactly the end of the first record.
+  uint64_t full = fs::file_size(path);
+  for (uint64_t cut = size_after_first; cut < full; ++cut) {
+    fs::resize_file(path, cut);
+    std::vector<WalRecord> recs;
+    uint64_t valid = 0;
+    ASSERT_TRUE(ReadWal(path, &recs, &valid)) << "cut=" << cut;
+    ASSERT_EQ(recs.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(recs[0].seq, 1u);
+    EXPECT_EQ(valid, size_after_first) << "cut=" << cut;
+  }
+  // Resume after a torn tail: truncate to the valid prefix, append a new
+  // record, and read all of it back.
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.Open(path, size_after_first));
+    WalRecord r;
+    r.seq = 2;
+    r.now_ms = 99;
+    r.txn = OneTxn();
+    ASSERT_TRUE(w.LogStep(r));
+  }
+  std::vector<WalRecord> recs;
+  uint64_t valid = 0;
+  ASSERT_TRUE(ReadWal(path, &recs, &valid));
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[1].now_ms, 99u);
+  EXPECT_EQ(valid, fs::file_size(path));
+}
+
+TEST(WalTest, CorruptChecksumEndsReplayBeforeTheRecord) {
+  std::string dir = FreshDir("wal_corrupt");
+  std::string path = dir + "/wal.log";
+  uint64_t size_after_first = 0;
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.Open(path));
+    WalRecord r;
+    r.seq = 1;
+    r.txn = OneTxn();
+    ASSERT_TRUE(w.LogStep(r));
+    size_after_first = fs::file_size(path);
+    r.seq = 2;
+    ASSERT_TRUE(w.LogStep(r));
+  }
+  // Flip one payload byte of the second record (not its checksum line).
+  {
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    fseek(f, static_cast<long>(size_after_first) + 4, SEEK_SET);
+    int c = fgetc(f);
+    fseek(f, static_cast<long>(size_after_first) + 4, SEEK_SET);
+    fputc(c == '9' ? '8' : '9', f);
+    fclose(f);
+  }
+  std::vector<WalRecord> recs;
+  uint64_t valid = 0;
+  ASSERT_TRUE(ReadWal(path, &recs, &valid));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(valid, size_after_first);
+}
+
+TEST(CheckpointManagerTest, WriteLoadRoundTripAndRetention) {
+  std::string dir = FreshDir("ckpt_mgr");
+  CheckpointManager mgr(dir);
+  ShardedAion::StateImage img;
+  img.ingress = "ingress-bytes";
+  // A real coordinator section leads with the shard count; Load
+  // cross-checks it against the section count.
+  StateWriter coord;
+  coord.U64(2);
+  coord.Bytes("rest", 4);
+  img.coordinator = coord.data();
+  img.shards = {"shard-zero", "shard-one"};
+
+  ASSERT_TRUE(mgr.Write(img, /*wal_seq=*/10, /*events=*/10, /*keep=*/2));
+  ASSERT_TRUE(mgr.Write(img, /*wal_seq=*/20, /*events=*/20, /*keep=*/2));
+  ASSERT_TRUE(mgr.Write(img, /*wal_seq=*/30, /*events=*/30, /*keep=*/2));
+
+  auto all = CheckpointManager::List(dir);
+  ASSERT_EQ(all.size(), 2u);  // keep=2 pruned the first
+  EXPECT_EQ(all[0].first, 2u);
+  EXPECT_EQ(all[1].first, 3u);
+
+  CheckpointManager::Loaded loaded;
+  ASSERT_TRUE(CheckpointManager::Load(all[1].second, &loaded));
+  EXPECT_EQ(loaded.ckpt_seq, 3u);
+  EXPECT_EQ(loaded.wal_seq, 30u);
+  EXPECT_EQ(loaded.events, 30u);
+  EXPECT_EQ(loaded.num_shards, 2u);
+  EXPECT_EQ(loaded.img.ingress, img.ingress);
+  EXPECT_EQ(loaded.img.coordinator, img.coordinator);
+  EXPECT_EQ(loaded.img.shards, img.shards);
+
+  // A fresh manager over the same directory resumes the sequence.
+  CheckpointManager again(dir);
+  EXPECT_EQ(again.next_seq(), 4u);
+}
+
+TEST(CheckpointManagerTest, CorruptionAtEveryByteIsRejected) {
+  std::string dir = FreshDir("ckpt_corrupt");
+  CheckpointManager mgr(dir);
+  ShardedAion::StateImage img;
+  img.ingress = "iii";
+  StateWriter coord;
+  coord.U64(1);
+  img.coordinator = coord.data();
+  img.shards = {"sss"};
+  ASSERT_TRUE(mgr.Write(img, 1, 1, 2));
+  auto all = CheckpointManager::List(dir);
+  ASSERT_EQ(all.size(), 1u);
+  const std::string path = all[0].second;
+  std::string good;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = fread(buf, 1, sizeof(buf), f);
+    good.assign(buf, n);
+    fclose(f);
+  }
+  CheckpointManager::Loaded loaded;
+  ASSERT_TRUE(CheckpointManager::Load(path, &loaded));
+  // Flip each byte in turn: every single-byte corruption must fail the
+  // strict load (magic, framing, or section checksum).
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] ^= 0x40;
+    FILE* f = fopen(path.c_str(), "wb");
+    fwrite(bad.data(), 1, bad.size(), f);
+    fclose(f);
+    CheckpointManager::Loaded l;
+    EXPECT_FALSE(CheckpointManager::Load(path, &l)) << "byte " << i;
+  }
+  // Truncation at any length must fail too.
+  for (size_t len = 0; len < good.size(); len += 7) {
+    FILE* f = fopen(path.c_str(), "wb");
+    fwrite(good.data(), 1, len, f);
+    fclose(f);
+    CheckpointManager::Loaded l;
+    EXPECT_FALSE(CheckpointManager::Load(path, &l)) << "len " << len;
+  }
+}
+
+// Drives `checker` over arrivals[begin, end) with virtual time = index
+// and a GC cadence, continuing `since_gc` across calls.
+void DriveRange(ShardedAion* checker, const std::vector<Transaction>& arrivals,
+                size_t begin, size_t end, size_t gc_every, size_t gc_target,
+                size_t* since_gc) {
+  for (size_t i = begin; i < end; ++i) {
+    checker->OnTransaction(arrivals[i], i);
+    if (gc_every > 0 && ++*since_gc >= gc_every) {
+      *since_gc = 0;
+      checker->GcToLiveTarget(gc_target);
+    }
+  }
+}
+
+struct Outcome {
+  std::vector<Violation> emissions;
+  CheckerStats stats;
+  Timestamp watermark = kTsMin;
+  uint64_t flips = 0;
+};
+
+// The mid-stream export/import identity that every section of the state
+// image must uphold: run A straight through; run B to a cut, export,
+// import into a fresh instance, continue; compare everything.
+void ExpectRestoreIdentity(const History& h, bool shuffle, uint64_t timeout,
+                           size_t gc_every, size_t gc_target,
+                           const std::string& dir, size_t shards) {
+  std::vector<Transaction> arrivals =
+      shuffle ? SessionPreservingShuffle(h, 77) : h.txns;
+  CheckerOptions opt;
+  opt.ext_timeout_ms = timeout;
+
+  Outcome ref;
+  {
+    CheckerOptions o = opt;
+    o.spill_dir = dir + "/spill_ref";
+    VectorSink sink;
+    auto checker = std::make_unique<ShardedAion>(o, shards, &sink);
+    size_t since_gc = 0;
+    DriveRange(checker.get(), arrivals, 0, arrivals.size(), gc_every,
+               gc_target, &since_gc);
+    checker->Finish();
+    ref.stats = checker->stats();
+    ref.watermark = checker->watermark();
+    ref.flips = checker->flip_stats().total_flips();
+    checker.reset();
+    ref.emissions = sink.TakeAll();
+  }
+
+  for (size_t cut : {size_t{1}, arrivals.size() / 3, arrivals.size() / 2,
+                     arrivals.size() - 1}) {
+    CheckerOptions o = opt;
+    o.spill_dir = dir + "/spill_cut" + std::to_string(cut);
+    fs::remove_all(o.spill_dir);
+    ShardedAion::StateImage img;
+    size_t since_gc = 0;
+    {
+      VectorSink discard;
+      ShardedAion first(o, shards, &discard);
+      DriveRange(&first, arrivals, 0, cut, gc_every, gc_target, &since_gc);
+      img = first.ExportState();
+    }
+    VectorSink sink;
+    auto second = std::make_unique<ShardedAion>(o, shards, &sink);
+    ASSERT_TRUE(second->ImportState(img)) << "cut=" << cut;
+    DriveRange(second.get(), arrivals, cut, arrivals.size(), gc_every,
+               gc_target, &since_gc);
+    second->Finish();
+    EXPECT_EQ(second->stats(), ref.stats) << "cut=" << cut;
+    EXPECT_EQ(second->watermark(), ref.watermark) << "cut=" << cut;
+    EXPECT_EQ(second->flip_stats().total_flips(), ref.flips) << "cut=" << cut;
+    second.reset();
+    EXPECT_EQ(sink.TakeAll(), ref.emissions) << "cut=" << cut;
+  }
+}
+
+TEST(StateImageTest, RegisterWorkloadRestoreIdentity) {
+  // Shuffled arrival + GC + spill + finite timeout: exercises version
+  // chains, ongoing intervals, spill manifests + epoch cache, straggler
+  // reloads, EXT deadlines, unfinalized views, and buffered violations.
+  std::string dir = FreshDir("img_reg");
+  History h = MakeWorkload(500, 31, /*list_mode=*/false);
+  ExpectRestoreIdentity(h, /*shuffle=*/true, /*timeout=*/40,
+                        /*gc_every=*/32, /*gc_target=*/16, dir, 2);
+}
+
+TEST(StateImageTest, ListWorkloadRestoreIdentity) {
+  // List chains: element buffers, merged-below deltas, boundary offsets.
+  std::string dir = FreshDir("img_list");
+  History h = MakeWorkload(400, 47, /*list_mode=*/true);
+  ExpectRestoreIdentity(h, /*shuffle=*/true, /*timeout=*/60,
+                        /*gc_every=*/40, /*gc_target=*/20, dir, 2);
+}
+
+TEST(StateImageTest, SingleShardRestoreIdentity) {
+  std::string dir = FreshDir("img_one");
+  History h = MakeWorkload(300, 53, /*list_mode=*/false);
+  ExpectRestoreIdentity(h, /*shuffle=*/false, /*timeout=*/1u << 30,
+                        /*gc_every=*/0, /*gc_target=*/0, dir, 1);
+}
+
+TEST(StateImageTest, ImportRejectsShardCountMismatch) {
+  CheckerOptions opt;
+  VectorSink s1, s2;
+  ShardedAion two(opt, 2, &s1);
+  ShardedAion::StateImage img = two.ExportState();
+  ShardedAion three(opt, 3, &s2);
+  EXPECT_FALSE(three.ImportState(img));
+}
+
+TEST(SpillCorruptionTest, CorruptEpochsDegradeDeterministically) {
+  // Corrupt every spill epoch file mid-stream: subsequent straggler
+  // reloads must count corrupt_spill_epochs (loud, not a silent miss),
+  // degrade to unsafe_below_watermark accounting like a spill-less GC
+  // (divergence entry D7), and stay fully deterministic — two runs with
+  // the same corruption point emit identical verdicts.
+  History writers = chronos::testing::HistoryBuilder()
+                        .Txn(1, 0, 0, 10, 15).W(7, 1)
+                        .Txn(2, 0, 1, 20, 25).W(7, 2)
+                        .Txn(3, 0, 2, 30, 35).W(7, 3)
+                        .Build();
+  Transaction straggler;
+  straggler.tid = 9;
+  straggler.sid = 1;
+  straggler.sno = 0;
+  straggler.start_ts = 16;
+  straggler.commit_ts = 17;
+  straggler.ops.push_back({OpType::kRead, 7, 1, 0});
+
+  auto run = [&](const std::string& dir) {
+    CheckerOptions opt;
+    opt.ext_timeout_ms = 100;
+    opt.spill_dir = dir;
+    VectorSink sink;
+    auto checker = std::make_unique<ShardedAion>(opt, 2, &sink);
+    uint64_t now = 0;
+    for (const Transaction& t : writers.txns) {
+      checker->OnTransaction(t, now += 10);
+    }
+    checker->AdvanceTime(1000);  // finalize the writers
+    checker->Gc(26);             // collapse + spill the early versions
+    checker->FootprintExact();   // barrier: workers idle, files closed
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file()) continue;
+      FILE* f = fopen(e.path().string().c_str(), "wb");
+      fputs("garbage", f);
+      fclose(f);
+    }
+    checker->OnTransaction(straggler, 2000);  // reload hits corruption
+    checker->Finish();
+    Outcome out;
+    out.stats = checker->stats();
+    out.watermark = checker->watermark();
+    checker.reset();
+    out.emissions = sink.TakeAll();
+    return out;
+  };
+  Outcome a = run(FreshDir("spillcorrupt_a"));
+  Outcome b = run(FreshDir("spillcorrupt_b"));
+  EXPECT_GT(a.stats.corrupt_spill_epochs, 0u);
+  EXPECT_GT(a.stats.unsafe_below_watermark, 0u);
+  // Best-effort degradation proceeds from the in-memory state (the same
+  // verdict a spill-less run would reach), so emissions need not be
+  // empty — but they must be identical across runs.
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.emissions, b.emissions);
+  EXPECT_EQ(a.watermark, b.watermark);
+}
+
+TEST(MemoryCeilingTest, ShedsKeepFootprintBoundedWithoutVerdictChanges) {
+  // Append-heavy clean list workload in commit order: the ceiling
+  // forces aggressive GC + list-buffer trims. Degradation is
+  // deterministic-OPTIMISTIC — reads into shed state become unsafe_*
+  // counts, never fabricated violations — so on a clean history the
+  // ceilinged run must emit exactly what the ceilingless run emits:
+  // nothing. (Faulty workloads under a ceiling are covered by the
+  // kill-point sweep, where both sides degrade identically.)
+  std::string dir = FreshDir("ceiling");
+  workload::WorkloadParams p;
+  p.sessions = 6;
+  p.txns = 600;
+  p.ops_per_txn = 8;
+  p.keys = 10;  // few keys: long lists
+  p.seed = 71;
+  p.list_mode = true;
+  History h = workload::GenerateDefaultHistory(p);
+
+  CheckerOptions opt;
+  opt.ext_timeout_ms = 8;  // prompt finalization: state is GC-evictable
+
+  // Reference: no ceiling. Track the peak exact footprint to size the
+  // ceiling meaningfully below it.
+  Outcome ref;
+  size_t peak = 0;
+  {
+    CheckerOptions o = opt;
+    o.spill_dir = dir + "/spill_ref";
+    VectorSink sink;
+    auto checker = std::make_unique<ShardedAion>(o, 2, &sink);
+    DurableRunner::Options dopts;
+    dopts.dir = dir + "/ref";
+    dopts.gc_every_events = 64;
+    dopts.gc_target = 64;
+    DurableRunner runner(checker.get(), dopts);
+    for (size_t i = 0; i < h.txns.size(); ++i) {
+      ASSERT_TRUE(runner.Feed(h.txns[i], i));
+      if (i % 16 == 0) {
+        peak = std::max(peak, checker->FootprintExact().approx_bytes);
+      }
+    }
+    runner.Finish();
+    ref.stats = checker->stats();
+    checker.reset();
+    ref.emissions = sink.TakeAll();
+  }
+  ASSERT_GT(peak, 0u);
+  EXPECT_TRUE(ref.emissions.empty());  // clean history, clean verdict
+
+  const size_t ceiling = peak / 2;
+  CheckerOptions o = opt;
+  o.spill_dir = dir + "/spill_ceiling";
+  VectorSink sink;
+  auto checker = std::make_unique<ShardedAion>(o, 2, &sink);
+  DurableRunner::Options dopts;
+  dopts.dir = dir + "/run";
+  dopts.gc_every_events = 64;
+  dopts.gc_target = 64;
+  dopts.memory_ceiling_bytes = ceiling;
+  dopts.ceiling_check_every = 16;
+  DurableRunner runner(checker.get(), dopts);
+  for (size_t i = 0; i < h.txns.size(); ++i) {
+    ASSERT_TRUE(runner.Feed(h.txns[i], i));
+    // At every check boundary the runner just shed if it was over: the
+    // footprint must be back under the ceiling.
+    if ((i + 1) % dopts.ceiling_check_every == 0) {
+      EXPECT_LE(checker->FootprintExact().approx_bytes, ceiling)
+          << "event " << i;
+    }
+  }
+  runner.Finish();
+  EXPECT_GT(runner.sheds(), 0u);
+  // Degradation is accounted, never silent — and the verdict stream is
+  // byte-identical to the ceilingless run.
+  CheckerStats st = checker->stats();
+  EXPECT_EQ(st.txns_processed, ref.stats.txns_processed);
+  checker.reset();
+  EXPECT_EQ(sink.TakeAll(), ref.emissions);
+}
+
+}  // namespace
+}  // namespace chronos::online

@@ -5,7 +5,10 @@
 //                 [--delay-mean=0 --delay-stddev=0]   (online only)
 //                 [--threaded] [--batch=500]          (online only)
 //                 [--shards=1]                        (online only)
-//                 [--gc-every=0] [--max-report=20]
+//                 [--checkpoint-dir=DIR] [--checkpoint-every=5000]
+//                 [--resume] [--memory-ceiling=BYTES] (online only)
+//                 [--gc-every=0] [--gc-target=0]
+//                 [--max-report=20] [--help]
 //
 // Offline mode runs CHRONOS (--level=list: ChronosList); --online
 // replays the history through AION via the collector (delays model
@@ -14,6 +17,13 @@
 // matching the list workloads). --shards=N checks with the
 // key-partitioned ShardedAion (N worker threads); violations are then
 // reported in deterministic (commit_ts, txn id) order.
+//
+// --checkpoint-dir enables the crash-safe durable driver
+// (online/checkpoint.h): every arrival is WAL-logged before it is
+// checked, checkpoints are cut every --checkpoint-every arrivals, and a
+// killed run resumes verdict-identical with --resume (same --in and
+// options). --memory-ceiling forces checkpoint + GC + list-buffer
+// shedding whenever the checker footprint exceeds the ceiling.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -26,7 +36,9 @@
 #include "core/chronos_list.h"
 #include "hist/codec.h"
 #include "hist/collector.h"
+#include "online/checkpoint.h"
 #include "online/pipeline.h"
+#include "online/recovery.h"
 #include "online/sharded_aion.h"
 
 using namespace chronos;
@@ -50,12 +62,46 @@ void PrintReport(const CountingSink& sink, size_t max_report) {
   }
 }
 
+void PrintUsage(FILE* out) {
+  std::fprintf(out,
+      "usage: chronos_check --in=FILE [options]\n"
+      "\n"
+      "  --in=FILE             history file (hist/codec.h text format)\n"
+      "  --level=si|ser|list   isolation level to check (default si)\n"
+      "  --max-report=N        violations to print (default 20)\n"
+      "  --gc-every=N          offline: GC every N txns; online durable:\n"
+      "                        GcToLiveTarget cadence in arrivals (0: off)\n"
+      "\n"
+      "online mode (--online):\n"
+      "  --timeout-ms=N        EXT finalization timeout (default 5000)\n"
+      "  --spill=DIR           GC spill store directory\n"
+      "  --delay-mean=N --delay-stddev=N   collector delay model (ms)\n"
+      "  --threaded            collector thread + batched delivery\n"
+      "  --batch=N             delivery batch size (default 500)\n"
+      "  --shards=N            key-partitioned ShardedAion workers\n"
+      "\n"
+      "crash-safe durable mode (--online, implies ShardedAion):\n"
+      "  --checkpoint-dir=DIR  WAL + checkpoints here; enables durability\n"
+      "  --checkpoint-every=N  checkpoint cadence in arrivals (default 5000)\n"
+      "  --resume              recover from DIR, skip replayed arrivals,\n"
+      "                        continue with the rest of --in\n"
+      "  --memory-ceiling=B    footprint bound in bytes: exceeding it forces\n"
+      "                        checkpoint + GC + list-buffer shedding\n"
+      "                        (degraded reads counted, never mis-reported)\n"
+      "  --gc-target=N         live-txn target for --gc-every GC (default 0)\n"
+      "  (spill defaults to DIR/spill so recovery finds the epoch files)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (HasFlag(argc, argv, "--help")) {
+    PrintUsage(stdout);
+    return 0;
+  }
   const char* in = FlagValue(argc, argv, "--in");
   if (!in) {
-    std::fprintf(stderr, "usage: chronos_check --in=FILE [options]\n");
+    PrintUsage(stderr);
     return 2;
   }
   std::string level =
@@ -88,6 +134,59 @@ int main(int argc, char** argv) {
     }
     const size_t shards =
         static_cast<size_t>(U64Flag(argc, argv, "--shards", 1));
+    if (const char* ckpt_dir = FlagValue(argc, argv, "--checkpoint-dir")) {
+      // Durable driver: always the sharded checker (its state export is
+      // the checkpoint format), even for one shard.
+      if (opt.spill_dir.empty()) opt.spill_dir = std::string(ckpt_dir) + "/spill";
+      std::unique_ptr<online::ShardedAion> checker;
+      uint64_t start_seq = 1, start_events = 0, wal_trunc = 0;
+      if (HasFlag(argc, argv, "--resume")) {
+        online::RecoverResult rec = online::Recover(opt, ckpt_dir, &sink, shards);
+        if (!rec.checker) {
+          std::fprintf(stderr, "recovery failed: %s\n", rec.error.c_str());
+          return 1;
+        }
+        std::printf("recovered: ckpt=%llu events=%llu%s%s\n",
+                    static_cast<unsigned long long>(rec.ckpt_seq),
+                    static_cast<unsigned long long>(rec.events),
+                    rec.from_checkpoint ? "" : " (wal-only)",
+                    rec.used_fallback ? " (newest checkpoint corrupt)" : "");
+        checker = std::move(rec.checker);
+        start_seq = rec.next_seq;
+        start_events = rec.events;
+        wal_trunc = rec.wal_truncate_to;
+      } else {
+        checker = std::make_unique<online::ShardedAion>(opt, shards, &sink);
+      }
+      online::DurableRunner::Options dopts;
+      dopts.dir = ckpt_dir;
+      dopts.checkpoint_every_events =
+          U64Flag(argc, argv, "--checkpoint-every", 5000);
+      dopts.gc_every_events =
+          static_cast<size_t>(U64Flag(argc, argv, "--gc-every", 0));
+      dopts.gc_target = static_cast<size_t>(U64Flag(argc, argv, "--gc-target", 0));
+      dopts.memory_ceiling_bytes =
+          static_cast<size_t>(U64Flag(argc, argv, "--memory-ceiling", 0));
+      online::DurableRunner runner(checker.get(), dopts, start_seq,
+                                   start_events, wal_trunc);
+      Stopwatch sw;
+      for (size_t i = start_events; i < stream.size(); ++i) {
+        if (!runner.Feed(stream[i].txn, stream[i].deliver_at_ms)) {
+          std::fprintf(stderr, "durable run failed: WAL/checkpoint write error\n");
+          return 1;
+        }
+      }
+      runner.Finish();
+      std::printf("online %s durable check (%zu shards): %.3fs, "
+                  "%llu checkpoints, %llu sheds, %llu flip-flops\n",
+                  level.c_str(), checker->num_shards(), sw.Seconds(),
+                  static_cast<unsigned long long>(runner.checkpoints_written()),
+                  static_cast<unsigned long long>(runner.sheds()),
+                  static_cast<unsigned long long>(
+                      checker->flip_stats().total_flips()));
+      PrintReport(sink, max_report);
+      return sink.total() > 0 ? 3 : 0;
+    }
     std::unique_ptr<Aion> mono;
     std::unique_ptr<online::ShardedAion> shard;
     OnlineChecker* checker;

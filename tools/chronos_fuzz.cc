@@ -1,7 +1,7 @@
 // chronos_fuzz: differential fuzzing harness (see src/fuzz/).
 //
 //   chronos_fuzz [--seeds=200] [--seed-start=0] [--time-budget=0]
-//                [--list-only] [--out-dir=DIR] [--verbose]
+//                [--list-only] [--ckpt] [--out-dir=DIR] [--verbose]
 //   chronos_fuzz --repro=FILE [--ser]
 //   chronos_fuzz --corpus=DIR
 //
@@ -20,6 +20,11 @@
 // --list-only keeps the seed->scenario map intact but runs only the
 // seeds whose scenario is a list workload — the CI list smoke walks a
 // bigger seed block at the same cost.
+//
+// --ckpt forces the mid-stream checkpoint/restore checker (scenario knob
+// ckpt_restore, rule "ckpt-restore-identity") on for every seed instead
+// of its ~25% sample — the CI fuzz-extended job uses it to sweep the
+// restore path across the whole scenario space.
 //
 // --time-budget is also checked *between checkers inside a scenario*
 // (fuzz::OverBudgetFn): once spent, the remaining checkers of the
@@ -153,6 +158,7 @@ int main(int argc, char** argv) {
   const uint64_t budget_s = U64Flag(argc, argv, "--time-budget", 0);
   const bool verbose = HasFlag(argc, argv, "--verbose");
   const bool list_only = HasFlag(argc, argv, "--list-only");
+  const bool force_ckpt = HasFlag(argc, argv, "--ckpt");
 
   Stopwatch sw;
   fuzz::OverBudgetFn over_budget;
@@ -167,6 +173,7 @@ int main(int argc, char** argv) {
     if (budget_s > 0 && sw.Seconds() > static_cast<double>(budget_s)) break;
     fuzz::FuzzScenario sc = fuzz::ScenarioFromSeed(seed);
     if (list_only && !sc.wl.list_mode) continue;
+    if (force_ckpt) sc.ckpt_restore = true;
     History h;
     fuzz::DiffReport report =
         fuzz::RunDiffer(sc, work_dir, &h, nullptr, over_budget);

@@ -49,6 +49,18 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Crash-recovery stage: the exhaustive kill-point sweep. The tier-1
+# ctest run above already covers a bounded sweep plus the corrupt-
+# checkpoint / corrupt-WAL / corrupt-spill fixtures; this pass re-runs
+# the durability suites killing the checker at EVERY event boundary and
+# a much larger set of random WAL byte truncations (~30s). Skip with
+# CHRONOS_CI_KILLPOINT=0.
+if [[ "${CHRONOS_CI_KILLPOINT:-1}" != "0" ]]; then
+  echo "crash-recovery: exhaustive kill-point sweep"
+  CHRONOS_KILLPOINT_EXHAUSTIVE=1 "$BUILD_DIR/recovery_killpoint_test"
+  "$BUILD_DIR/checkpoint_test"
+fi
+
 # Differential-fuzz smoke (fixed seed blocks, deterministic): 200 seeded
 # chaos scenarios through every checker, then a list-only pass over a
 # wider seed block (~10% of scenarios are list workloads, so this walks
