@@ -5,7 +5,12 @@
 # series of these artifacts over PRs.
 #
 # Usage: bench/run_micro.sh [build_dir] [output_json]
-#   build_dir    defaults to ./build
+#   build_dir    defaults to ./build-bench (configured+built Release here
+#                if missing). A dir whose CMakeCache is not
+#                CMAKE_BUILD_TYPE=Release is refused: debug/RelWithDebInfo
+#                numbers silently pollute the artifact series. Set
+#                CHRONOS_BENCH_ALLOW_NONRELEASE=1 to override (CI smoke
+#                only verifies the harness runs, not the numbers).
 #   output_json  defaults to ./BENCH_micro.json
 #
 # CHRONOS_BENCH_SCALE (default 1) scales the figure benches, not this
@@ -13,14 +18,30 @@
 # runs.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-build-bench}"
 OUT="${2:-BENCH_micro.json}"
 FILTER="${BENCH_FILTER:-BM_AionPerTxn|BM_ShardedAionPerTxn|BM_ChronosPerTxn|BM_VersionedKv|BM_MapKv|BM_AionFootprint}"
 MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  echo "configuring Release build dir $BUILD_DIR" >&2
+  cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+if [[ "$BUILD_TYPE" != "Release" &&
+      "${CHRONOS_BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+  echo "error: $BUILD_DIR has CMAKE_BUILD_TYPE='$BUILD_TYPE', not Release;" \
+       "benchmark numbers from it are not comparable. Point this script at" \
+       "a Release dir (default: build-bench) or set" \
+       "CHRONOS_BENCH_ALLOW_NONRELEASE=1 for a smoke run." >&2
+  exit 1
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro >/dev/null
+
 BIN="$BUILD_DIR/bench_micro"
 if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not found; build with: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  echo "error: $BIN not found after build" >&2
   exit 1
 fi
 

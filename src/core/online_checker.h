@@ -35,6 +35,11 @@ struct CheckerOptions {
   /// CheckerStats::unsafe_below_watermark instead of being re-checked).
   /// A sharded checker appends "/shard<i>" per shard.
   std::string spill_dir;
+  /// Pre-stage classifier threads in the sharded checker (clamped to
+  /// [1, 16]; ignored by the monolith). These run the pure per-txn INT
+  /// replay and key->shard partitioning off the coordinator thread;
+  /// verdicts and emission order are independent of this value.
+  size_t pre_stage_workers = 2;
 };
 
 /// Aggregate processing counters. In the sharded checker the key-scoped

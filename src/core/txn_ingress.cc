@@ -73,22 +73,25 @@ TxnIngress::TxnIngress(const CheckerOptions& options, CheckerStats* stats,
       report_(std::move(report)),
       dispatch_(dispatch) {}
 
-void TxnIngress::OnTransaction(const Transaction& t, uint64_t now_ms) {
+TxnIngress::Admission TxnIngress::AdmitTxn(const Transaction& t,
+                                           uint64_t now_ms) {
+  Admission adm;
   last_now_ms_ = std::max(last_now_ms_, now_ms);
   FireDeadlines(last_now_ms_);
+  adm.now_ms = last_now_ms_;
 
   const bool ser = options_.mode == CheckMode::kSer;
 
   // Eq. (1) well-formedness (Algorithm 3 lines 4-5). SER ignores start
-  // timestamps entirely.
+  // timestamps entirely. INT does not depend on timestamps, so the
+  // footprint still goes through the INT replay (kIntOnly).
   if (!ser && !t.TimestampsOrdered()) {
     report_(t.commit_ts, {ViolationType::kTsOrder, t.tid, kTxnNone, 0,
                           static_cast<Value>(t.start_ts),
                           static_cast<Value>(t.commit_ts)});
-    // INT does not depend on timestamps; still check it.
-    ClassifyOps(t, report_, nullptr);
     sessions_[t.sid].skipped_snos.insert(t.sno);
-    return;
+    adm.kind = Admission::Kind::kIntOnly;
+    return adm;
   }
 
   // Duplicate timestamps across distinct transactions.
@@ -106,22 +109,18 @@ void TxnIngress::OnTransaction(const Transaction& t, uint64_t now_ms) {
   if (dup) {
     report_(t.commit_ts, {ViolationType::kTsDuplicate, t.tid});
     sessions_[t.sid].skipped_snos.insert(t.sno);
-    return;
+    adm.kind = Admission::Kind::kDrop;
+    return adm;
   }
 
   CheckSession(t);
 
   const Timestamp view_ts = ser ? t.commit_ts : t.start_ts;
 
-  // Step 1 (transaction-scoped half): INT checks and the per-key
-  // footprint classification.
-  ClassifiedOps ops;
-  ClassifyOps(t, report_, &ops);
-
   // A replayed tid keeps its original record and registrations: pushing
   // its view on the heap again would outlive the single finalize
-  // tombstone and pin the GC watermark forever. Its footprint below
-  // still goes through Steps 2-3 like any other arrival.
+  // tombstone and pin the GC watermark forever. Its footprint still goes
+  // through Steps 2-3 like any other arrival.
   auto [it, inserted] = txns_.emplace(t.tid, TxnRec{view_ts, t.commit_ts,
                                                     false});
   (void)it;
@@ -138,10 +137,31 @@ void TxnIngress::OnTransaction(const Transaction& t, uint64_t now_ms) {
     deadlines_.emplace_back(last_now_ms_ + options_.ext_timeout_ms, t.tid);
   }
 
-  KeyEngine::TxnCtx ctx{t.tid, view_ts, t.commit_ts, t.start_ts};
-  dispatch_->DispatchTxn(ctx, std::move(ops), inserted, last_now_ms_);
-
   ++stats_->txns_processed;
+  adm.kind = Admission::Kind::kDispatch;
+  adm.register_reads = inserted;
+  adm.ctx = KeyEngine::TxnCtx{t.tid, view_ts, t.commit_ts, t.start_ts};
+  return adm;
+}
+
+void TxnIngress::OnTransaction(const Transaction& t, uint64_t now_ms) {
+  Admission adm = AdmitTxn(t, now_ms);
+  switch (adm.kind) {
+    case Admission::Kind::kDrop:
+      return;
+    case Admission::Kind::kIntOnly:
+      ClassifyOps(t, report_, nullptr);
+      return;
+    case Admission::Kind::kDispatch: {
+      // Step 1 (transaction-scoped half): INT checks and the per-key
+      // footprint classification.
+      ClassifiedOps ops;
+      ClassifyOps(t, report_, &ops);
+      dispatch_->DispatchTxn(adm.ctx, std::move(ops), adm.register_reads,
+                             adm.now_ms);
+      return;
+    }
+  }
 }
 
 void TxnIngress::CheckSession(const Transaction& t) {

@@ -69,6 +69,22 @@ class TxnIngress {
     virtual void DispatchGc(Timestamp watermark) = 0;
   };
 
+  /// The cross-transaction verdict of admitting one arrival, everything
+  /// OnTransaction decides *except* the per-txn INT replay/classification
+  /// (which is pure and may run on another thread, see ClassifyOps):
+  /// - kDrop: duplicate timestamp — no INT reports, no dispatch.
+  /// - kIntOnly: Eq. (1) violation — INT replay still applies, but the
+  ///   footprint is not dispatched.
+  /// - kDispatch: dispatch the classified footprint with `ctx`;
+  ///   `register_reads` is false for a replayed tid.
+  struct Admission {
+    enum class Kind : uint8_t { kDrop, kIntOnly, kDispatch };
+    Kind kind = Kind::kDrop;
+    bool register_reads = false;
+    KeyEngine::TxnCtx ctx{};
+    uint64_t now_ms = 0;  ///< the clamped clock DispatchTxn must carry
+  };
+
   TxnIngress(const CheckerOptions& options, CheckerStats* stats,
              KeyEngine::ReportFn report, Dispatch* dispatch);
 
@@ -76,6 +92,13 @@ class TxnIngress {
   TxnIngress& operator=(const TxnIngress&) = delete;
 
   void OnTransaction(const Transaction& t, uint64_t now_ms);
+  /// The admission half of OnTransaction: fires deadlines, runs the
+  /// Eq. (1)/duplicate-timestamp/SESSION checks, registers the record,
+  /// and says what to do with the (separately computed) footprint.
+  /// `OnTransaction(t, now)` == `AdmitTxn(t, now)` + ClassifyOps +
+  /// DispatchTxn per the returned kind; callers that pre-stage
+  /// classification on worker threads use this entry point directly.
+  Admission AdmitTxn(const Transaction& t, uint64_t now_ms);
   void AdvanceTime(uint64_t now_ms);
   /// Clamps to the safe watermark and dispatches GC; returns the
   /// effective watermark used.

@@ -81,48 +81,82 @@ class Shrinker {
     return true;
   }
 
-  // Chunked greedy removal of transactions: try dropping runs of `chunk`
-  // transactions, halving the chunk when a full sweep removes nothing.
-  void ShrinkTxns() {
-    size_t chunk = std::max<size_t>(1, current_.txns.size() / 2);
-    while (Budget()) {
-      bool removed = false;
-      for (size_t start = 0; start < current_.txns.size() && Budget();) {
-        History candidate = current_;
-        size_t end = std::min(start + chunk, candidate.txns.size());
-        candidate.txns.erase(candidate.txns.begin() + start,
-                             candidate.txns.begin() + end);
-        if (!candidate.txns.empty() &&
-            Accept(NormalizeSessions(std::move(candidate)))) {
-          removed = true;  // same start now addresses the next run
-        } else {
-          start += chunk;
-        }
+  // --- global interleaved ddmin over transactions and operations ------
+  //
+  // One pass alternates a txn-chunk sweep and an op-chunk sweep at each
+  // granularity, halving both sizes together when neither removes
+  // anything, instead of running each reduction to fixpoint in
+  // isolation. Op chunks address the flat (txn-major) operation index
+  // and may span transaction boundaries, so one predicate call can take
+  // the tail of one transaction together with the head of the next —
+  // repros whose failure couples ops in *different* transactions
+  // (NOCONFLICT overlaps in particular) keep shrinking where a
+  // per-transaction op pass plateaus.
+
+  // One greedy sweep dropping runs of `chunk` transactions.
+  bool SweepTxnChunks(size_t chunk) {
+    bool removed = false;
+    for (size_t start = 0; start < current_.txns.size() && Budget();) {
+      History candidate = current_;
+      size_t end = std::min(start + chunk, candidate.txns.size());
+      candidate.txns.erase(candidate.txns.begin() + start,
+                           candidate.txns.begin() + end);
+      if (!candidate.txns.empty() &&
+          Accept(NormalizeSessions(std::move(candidate)))) {
+        removed = true;  // same start now addresses the next run
+      } else {
+        start += chunk;
       }
-      if (!removed && chunk == 1) break;
-      if (!removed) chunk = std::max<size_t>(1, chunk / 2);
     }
+    return removed;
   }
 
-  // Per-transaction chunked removal of operations.
-  void ShrinkOps() {
-    for (size_t ti = 0; ti < current_.txns.size() && Budget(); ++ti) {
-      size_t chunk = std::max<size_t>(1, current_.txns[ti].ops.size() / 2);
-      while (Budget()) {
-        bool removed = false;
-        for (size_t start = 0;
-             start < current_.txns[ti].ops.size() && Budget();) {
-          History candidate = current_;
-          size_t end = std::min(start + chunk, candidate.txns[ti].ops.size());
-          candidate.txns[ti] = WithoutOps(candidate.txns[ti], start, end);
-          if (Accept(std::move(candidate))) {
-            removed = true;
-          } else {
-            start += chunk;
-          }
-        }
-        if (!removed && chunk == 1) break;
-        if (!removed) chunk = std::max<size_t>(1, chunk / 2);
+  // Rebuilds `h` without the flat op range [start, start + count): the
+  // range maps to one contiguous slice per overlapped transaction.
+  static History RemoveOpRange(const History& h, size_t start, size_t count) {
+    History out = h;
+    const size_t limit = start + count;
+    size_t base = 0;
+    for (size_t ti = 0; ti < h.txns.size(); ++ti) {
+      const size_t n = h.txns[ti].ops.size();
+      if (base < limit && base + n > start) {
+        size_t b = start > base ? start - base : 0;
+        size_t e = std::min(limit - base, n);
+        out.txns[ti] = WithoutOps(h.txns[ti], b, e);
+      }
+      base += n;
+    }
+    return out;
+  }
+
+  // One greedy sweep dropping runs of `chunk` operations in the flat
+  // txn-major index (runs may cross transaction boundaries).
+  bool SweepOpChunks(size_t chunk) {
+    bool removed = false;
+    for (size_t start = 0; start < current_.NumOps() && Budget();) {
+      if (Accept(RemoveOpRange(current_, start, chunk))) {
+        removed = true;  // same start now addresses the next run
+      } else {
+        start += chunk;
+      }
+    }
+    return removed;
+  }
+
+  void ShrinkGlobal() {
+    size_t txn_chunk = std::max<size_t>(1, current_.txns.size() / 2);
+    size_t op_chunk = std::max<size_t>(1, current_.NumOps() / 2);
+    while (Budget()) {
+      bool removed = SweepTxnChunks(txn_chunk);
+      removed |= SweepOpChunks(op_chunk);
+      // The history shrank: keep the chunks within it.
+      txn_chunk =
+          std::min(txn_chunk, std::max<size_t>(1, current_.txns.size()));
+      op_chunk = std::min(op_chunk, std::max<size_t>(1, current_.NumOps()));
+      if (!removed) {
+        if (txn_chunk == 1 && op_chunk == 1) break;
+        txn_chunk = std::max<size_t>(1, txn_chunk / 2);
+        op_chunk = std::max<size_t>(1, op_chunk / 2);
       }
     }
   }
@@ -222,12 +256,7 @@ ShrinkResult ShrinkHistory(const History& h, const FailurePredicate& fails,
   if (!fails(h)) return nothing;  // precondition violated: no-op
 
   Shrinker s(h, fails, options);
-  s.ShrinkTxns();
-  s.ShrinkOps();
-  // A second transaction pass: op removal often unblocks further
-  // transaction drops (a txn reduced to no ops rarely sustains the
-  // disagreement on its own).
-  s.ShrinkTxns();
+  s.ShrinkGlobal();
   s.CompactTimestamps();
   s.CompactKeysAndValues();
 

@@ -1,7 +1,10 @@
 // Delta-debugging shrinker for fuzz findings: given a history and a
 // failure predicate ("the checker disagreement is still present"),
-// greedily minimizes the history — drop transactions (chunked ddmin),
-// drop operations, then compact timestamps and rename keys/values to
+// greedily minimizes the history in one global ddmin pass that
+// interleaves transaction-chunk sweeps with operation-chunk sweeps over
+// the flat txn-major op index (op chunks may span transaction
+// boundaries, so cross-transaction couplings shrink in a single
+// predicate call), then compacts timestamps and renames keys/values to
 // small dense domains — while preserving the failure. Every candidate
 // is re-validated through the predicate, so any reduction that would
 // mask the disagreement (or introduce an unrelated one under a

@@ -1,10 +1,13 @@
 // Throughput and memory meters for the online experiments (Figs. 12, 15,
-// 16, 23).
+// 16, 23), plus the pipeline-health counters the sharded checker exposes
+// (per-ring depth high-water marks, stall counts, coordinator idle
+// ratio) — printed by `chronos_check --stats`.
 #ifndef CHRONOS_ONLINE_METRICS_H_
 #define CHRONOS_ONLINE_METRICS_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 namespace chronos::online {
@@ -42,6 +45,44 @@ class ThroughputMeter {
 /// Resident-set size of this process in bytes (Linux /proc/self/statm);
 /// 0 when unavailable.
 size_t ReadRssBytes();
+
+/// Health counters of one SPSC ring (online/spsc_ring.h): the deepest
+/// occupancy the producer observed at a publication point, and how often
+/// each side fell off the spin fast-path into a parked (mutex/condvar)
+/// wait. Stall counts are park *events*, not parked time: a producer
+/// stall means the downstream stage applied backpressure; a consumer
+/// stall means the stage ran dry and idled.
+struct RingHealth {
+  uint64_t depth_hwm = 0;
+  uint64_t producer_stalls = 0;
+  uint64_t consumer_stalls = 0;
+};
+
+/// One quiescent snapshot of the sharded pipeline's plumbing
+/// (ShardedAion::pipeline_health): every ring on the
+/// caller -> pre-stage -> sequencer -> shard path.
+struct PipelineHealth {
+  std::vector<RingHealth> pre_stage_in;   ///< caller -> classifier, per worker
+  std::vector<RingHealth> pre_stage_out;  ///< classifier -> sequencer
+  RingHealth seq_ring;                    ///< caller -> sequencer (headers)
+  std::vector<RingHealth> shard_rings;    ///< sequencer -> shard, per shard
+  uint64_t sequencer_msgs = 0;            ///< headers the sequencer consumed
+
+  /// Fraction of sequencer messages that required a parked wait (for the
+  /// next header or for a classifier result): how idle the pipeline's
+  /// serial coordinator stage ran. 0 = never starved, ~1 = input-bound.
+  double CoordinatorIdleRatio() const {
+    uint64_t waits = seq_ring.consumer_stalls;
+    for (const RingHealth& r : pre_stage_out) waits += r.consumer_stalls;
+    if (sequencer_msgs == 0) return 0.0;
+    double ratio = static_cast<double>(waits) /
+                   static_cast<double>(sequencer_msgs);
+    return ratio > 1.0 ? 1.0 : ratio;
+  }
+};
+
+/// Human-readable dump (one line per ring) for `chronos_check --stats`.
+void PrintPipelineHealth(const PipelineHealth& h, std::FILE* out);
 
 }  // namespace chronos::online
 

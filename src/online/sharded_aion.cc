@@ -1,6 +1,7 @@
 #include "online/sharded_aion.h"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
 #include <utility>
 
@@ -8,6 +9,7 @@ namespace chronos::online {
 namespace {
 
 constexpr size_t kMaxShards = 64;  // finalize fan-out uses a 64-bit mask
+constexpr size_t kMaxPreStageWorkers = 16;
 
 // splitmix64 finalizer: keys are often small sequential integers, so mix
 // before taking the remainder to spread hot ranges across shards.
@@ -72,16 +74,24 @@ ShardedAion::ShardedAion(const Options& options, size_t num_shards,
     : options_(options),
       sink_(sink),
       cmd_batch_(cmd_batch == 0 ? 1 : cmd_batch),
+      seq_ring_(queue_capacity == 0 ? 2 : queue_capacity),
       ingress_(options, &coord_stats_,
                [this](Timestamp order_ts, const Violation& v) {
                  coord_violations_.push_back({order_ts, v});
                },
                this) {
   const size_t n = std::min(std::max<size_t>(num_shards, 1), kMaxShards);
+  const size_t p = std::min(std::max<size_t>(options.pre_stage_workers, 1),
+                            kMaxPreStageWorkers);
+  const size_t ring_cap = queue_capacity == 0 ? 2 : queue_capacity;
+  // Pre-stage rings carry whole transactions / classified footprints,
+  // which are heavier than ShardCmds; cap their slot count so a large
+  // queue_capacity doesn't balloon idle memory.
+  const size_t stage_cap = std::min<size_t>(ring_cap, 1024);
+
   shards_.reserve(n);
-  slot_.assign(n, -1);
   for (size_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<Shard>(queue_capacity);
+    auto shard = std::make_unique<Shard>(ring_cap);
     Shard* raw = shard.get();
     KeyEngine::Options eo;
     eo.mode = options_.mode;
@@ -93,47 +103,125 @@ ShardedAion::ShardedAion(const Options& options, size_t num_shards,
         [raw](Timestamp order_ts, const Violation& v) {
           raw->violations.push_back({order_ts, v});
         });
-    shard->pending.reserve(cmd_batch_);
     shards_.push_back(std::move(shard));
   }
+  prestages_.reserve(p);
+  for (size_t i = 0; i < p; ++i) {
+    prestages_.push_back(std::make_unique<PreStage>(stage_cap, stage_cap));
+  }
+
   for (auto& shard : shards_) {
     shard->worker = std::thread(&ShardedAion::WorkerLoop, this, shard.get());
+  }
+  sequencer_ = std::thread(&ShardedAion::SequencerLoop, this);
+  for (auto& ps : prestages_) {
+    ps->worker = std::thread(&ShardedAion::ClassifierLoop, this, ps.get());
   }
 }
 
 ShardedAion::~ShardedAion() {
-  for (size_t s = 0; s < shards_.size(); ++s) FlushShard(s);
-  for (auto& shard : shards_) shard->queue.Close();
+  // Teardown follows the pipeline direction: close the caller-fed rings,
+  // join each stage once its input is exhausted. The sequencer closes
+  // the shard rings after flushing everything staged, so no command —
+  // and no detected violation — is lost for a caller that skipped
+  // Finish().
+  for (auto& ps : prestages_) ps->in.Close();
+  seq_ring_.Close();
+  for (auto& ps : prestages_) {
+    if (ps->worker.joinable()) ps->worker.join();
+  }
+  if (sequencer_.joinable()) sequencer_.join();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
-  // A caller that skipped Finish() must not lose detected violations:
-  // the workers have drained their queues by now, so emit whatever is
-  // still buffered (no-op after a normal Finish()).
-  EmitViolations();
+  EmitViolations();  // no-op after a normal Finish()
 }
 
 size_t ShardedAion::ShardOf(Key key) const {
   return static_cast<size_t>(MixKey(key) % shards_.size());
 }
 
-void ShardedAion::Append(size_t shard, ShardCmd&& cmd) {
-  Shard& s = *shards_[shard];
-  s.pending.push_back(std::move(cmd));
-  if (s.pending.size() >= cmd_batch_) FlushShard(shard);
+// --- pre-stage workers ------------------------------------------------
+
+ShardedAion::StagedTxn ShardedAion::ClassifyAndPartition(
+    const Transaction& t) const {
+  StagedTxn st;
+  ClassifiedOps ops;
+  ClassifyOps(t,
+              [&st](Timestamp order_ts, const Violation& v) {
+                st.int_reports.push_back({order_ts, v});
+              },
+              &ops);
+  const size_t n = shards_.size();
+  if (n == 1) {
+    // Single shard: no partitioning, and always one slice (the monolith
+    // runs ProcessTxn even for an empty footprint, so 1-shard must too
+    // to stay byte-identical).
+    StagedTxn::Slice sl;
+    sl.shard = 0;
+    sl.ops = std::move(ops);
+    st.slices.push_back(std::move(sl));
+    return st;
+  }
+
+  // Partition the footprint, at most one slice per touched shard, in
+  // first-touch order. `slot` maps shard -> slice index (-1 untouched).
+  std::vector<int32_t> slot(n, -1);
+  auto slice_for = [&](size_t s) -> ClassifiedOps& {
+    if (slot[s] < 0) {
+      slot[s] = static_cast<int32_t>(st.slices.size());
+      st.slices.emplace_back();
+      st.slices.back().shard = static_cast<uint32_t>(s);
+    }
+    return st.slices[slot[s]].ops;
+  };
+  for (const KeyEngine::ExtReadReq& r : ops.ext_reads) {
+    slice_for(ShardOf(r.key)).ext_reads.push_back(r);
+  }
+  for (const KeyEngine::WriteReq& w : ops.writes) {
+    slice_for(ShardOf(w.key)).writes.push_back(w);
+  }
+  for (KeyEngine::ListReadReq& r : ops.list_reads) {
+    slice_for(ShardOf(r.key)).list_reads.push_back(std::move(r));
+  }
+  for (KeyEngine::AppendReq& a : ops.appends) {
+    slice_for(ShardOf(a.key)).appends.push_back(std::move(a));
+  }
+  return st;
 }
 
-void ShardedAion::FlushShard(size_t shard) {
-  Shard& s = *shards_[shard];
-  if (s.pending.empty()) return;
-  s.issued += s.pending.size();
-  s.queue.PushBatch(std::move(s.pending));
-  s.pending = {};
-  s.pending.reserve(cmd_batch_);
+void ShardedAion::ClassifierLoop(PreStage* ps) {
+  std::vector<Transaction> batch;
+  while (ps->in.PopBatch(&batch, 64)) {
+    for (Transaction& t : batch) {
+      ps->out.Push(ClassifyAndPartition(t));
+    }
+  }
+  ps->out.Close();
 }
 
-void ShardedAion::WaitAll() {
-  for (size_t s = 0; s < shards_.size(); ++s) FlushShard(s);
+// --- sequencer --------------------------------------------------------
+
+void ShardedAion::StageShard(size_t shard, ShardCmd&& cmd) {
+  Shard& s = *shards_[shard];
+  s.ring.Stage(std::move(cmd));
+  ++s.issued;
+  if (++s.staged >= cmd_batch_) {
+    s.ring.Publish();
+    s.staged = 0;
+  }
+}
+
+void ShardedAion::FlushShards() {
+  for (auto& shard : shards_) {
+    if (shard->staged != 0) {
+      shard->ring.Publish();
+      shard->staged = 0;
+    }
+  }
+}
+
+void ShardedAion::WaitShardsDone() {
   for (auto& shard : shards_) {
     std::unique_lock<std::mutex> lock(shard->done_mu);
     shard->done_cv.wait(lock,
@@ -141,9 +229,92 @@ void ShardedAion::WaitAll() {
   }
 }
 
+void ShardedAion::SequencerLoop() {
+  using AdmitKind = TxnIngress::Admission::Kind;
+  std::vector<SeqMsg> msgs;
+  uint64_t txn_seq = 0;
+  const size_t num_prestages = prestages_.size();
+  while (seq_ring_.PopBatch(&msgs, 256)) {
+    for (SeqMsg& m : msgs) {
+      ++seq_msgs_;
+      switch (m.kind) {
+        case SeqMsg::Kind::kTxn: {
+          // One staged footprint per header, from the arrival's worker.
+          PreStage& ps = *prestages_[txn_seq % num_prestages];
+          ++txn_seq;
+          std::optional<StagedTxn> st = ps.out.Pop();
+          if (!st) break;  // unreachable: the txn precedes its header
+          if (m.admit == AdmitKind::kDrop) break;  // duplicate timestamp
+          for (TaggedViolation& tv : st->int_reports) {
+            seq_violations_.push_back(std::move(tv));
+          }
+          if (m.admit == AdmitKind::kIntOnly) break;  // Eq. (1) violation
+          uint64_t read_mask = 0;
+          for (StagedTxn::Slice& sl : st->slices) {
+            if (m.register_reads && (!sl.ops.ext_reads.empty() ||
+                                     !sl.ops.list_reads.empty())) {
+              read_mask |= 1ull << sl.shard;
+            }
+            ShardCmd cmd;
+            cmd.kind = ShardCmd::Kind::kTxn;
+            cmd.register_reads = m.register_reads;
+            cmd.ctx = m.ctx;
+            cmd.now_ms = m.now_ms;
+            cmd.reads = std::move(sl.ops.ext_reads);
+            cmd.writes = std::move(sl.ops.writes);
+            cmd.list_reads = std::move(sl.ops.list_reads);
+            cmd.appends = std::move(sl.ops.appends);
+            StageShard(sl.shard, std::move(cmd));
+          }
+          if (read_mask != 0) read_shard_mask_[m.ctx.tid] = read_mask;
+          break;
+        }
+        case SeqMsg::Kind::kFinalize: {
+          auto it = read_shard_mask_.find(m.tid);
+          if (it == read_shard_mask_.end()) break;  // no reads anywhere
+          uint64_t mask = it->second;
+          read_shard_mask_.erase(it);
+          for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
+            if (mask & 1) {
+              ShardCmd cmd;
+              cmd.kind = ShardCmd::Kind::kFinalize;
+              cmd.ctx.tid = m.tid;
+              StageShard(s, std::move(cmd));
+            }
+          }
+          break;
+        }
+        case SeqMsg::Kind::kGc: {
+          for (size_t s = 0; s < shards_.size(); ++s) {
+            ShardCmd cmd;
+            cmd.kind = ShardCmd::Kind::kGc;
+            cmd.gc_watermark = m.gc_watermark;
+            StageShard(s, std::move(cmd));
+          }
+          break;
+        }
+        case SeqMsg::Kind::kBarrier: {
+          FlushShards();
+          WaitShardsDone();
+          {
+            std::lock_guard<std::mutex> lock(barrier_mu_);
+            barrier_done_ = m.ticket;
+          }
+          barrier_cv_.notify_all();
+          break;
+        }
+      }
+    }
+  }
+  FlushShards();
+  for (auto& shard : shards_) shard->ring.Close();
+}
+
+// --- shard workers ----------------------------------------------------
+
 void ShardedAion::WorkerLoop(Shard* shard) {
   std::vector<ShardCmd> chunk;
-  while (shard->queue.PopBatch(&chunk, cmd_batch_)) {
+  while (shard->ring.PopBatch(&chunk, cmd_batch_)) {
     for (ShardCmd& cmd : chunk) ExecuteCmd(shard, cmd);
     shard->versions.store(shard->engine->TotalVersions(),
                           std::memory_order_relaxed);
@@ -184,98 +355,57 @@ void ShardedAion::ExecuteCmd(Shard* shard, ShardCmd& cmd) {
   }
 }
 
+// --- caller side ------------------------------------------------------
+
 void ShardedAion::DispatchTxn(const KeyEngine::TxnCtx& ctx,
                               ClassifiedOps&& ops, bool register_reads,
                               uint64_t now_ms) {
-  const size_t n = shards_.size();
-  if (n == 1) {
-    if (register_reads &&
-        (!ops.ext_reads.empty() || !ops.list_reads.empty())) {
-      read_shard_mask_[ctx.tid] = 1;
-    }
-    ShardCmd cmd;
-    cmd.kind = ShardCmd::Kind::kTxn;
-    cmd.register_reads = register_reads;
-    cmd.ctx = ctx;
-    cmd.now_ms = now_ms;
-    cmd.reads = std::move(ops.ext_reads);
-    cmd.writes = std::move(ops.writes);
-    cmd.list_reads = std::move(ops.list_reads);
-    cmd.appends = std::move(ops.appends);
-    Append(0, std::move(cmd));
-    return;
-  }
-
-  // Partition the footprint, building at most one command per touched
-  // shard directly in that shard's pending buffer (no intermediate
-  // allocation on the coordinator hot path). Flushing is deferred past
-  // the partition loop so the slot indices stay valid.
-  auto slot_for = [&](size_t s) -> ShardCmd& {
-    std::vector<ShardCmd>& pending = shards_[s]->pending;
-    if (slot_[s] < 0) {
-      slot_[s] = static_cast<int32_t>(pending.size());
-      touched_.push_back(static_cast<uint32_t>(s));
-      pending.emplace_back();
-      ShardCmd& c = pending.back();
-      c.kind = ShardCmd::Kind::kTxn;
-      c.register_reads = register_reads;
-      c.ctx = ctx;
-      c.now_ms = now_ms;
-    }
-    return pending[slot_[s]];
-  };
-  for (const KeyEngine::ExtReadReq& r : ops.ext_reads) {
-    slot_for(ShardOf(r.key)).reads.push_back(r);
-  }
-  for (const KeyEngine::WriteReq& w : ops.writes) {
-    slot_for(ShardOf(w.key)).writes.push_back(w);
-  }
-  for (KeyEngine::ListReadReq& r : ops.list_reads) {
-    slot_for(ShardOf(r.key)).list_reads.push_back(std::move(r));
-  }
-  for (KeyEngine::AppendReq& a : ops.appends) {
-    slot_for(ShardOf(a.key)).appends.push_back(std::move(a));
-  }
-
-  uint64_t read_mask = 0;
-  for (uint32_t s : touched_) {
-    const ShardCmd& c = shards_[s]->pending[slot_[s]];
-    if (register_reads && (!c.reads.empty() || !c.list_reads.empty())) {
-      read_mask |= 1ull << s;
-    }
-    slot_[s] = -1;  // reset for the next transaction
-    if (shards_[s]->pending.size() >= cmd_batch_) FlushShard(s);
-  }
-  touched_.clear();
-  if (read_mask != 0) read_shard_mask_[ctx.tid] = read_mask;
+  // The caller drives the ingress through AdmitTxn and runs ClassifyOps
+  // on the pre-stage workers, so the ingress never dispatches a
+  // footprint here.
+  (void)ctx;
+  (void)ops;
+  (void)register_reads;
+  (void)now_ms;
+  assert(false && "ShardedAion sequences footprints via AdmitTxn");
 }
 
 void ShardedAion::DispatchFinalize(TxnId tid) {
-  auto it = read_shard_mask_.find(tid);
-  if (it == read_shard_mask_.end()) return;  // no external reads anywhere
-  uint64_t mask = it->second;
-  read_shard_mask_.erase(it);
-  for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
-    if (mask & 1) {
-      ShardCmd cmd;
-      cmd.kind = ShardCmd::Kind::kFinalize;
-      cmd.ctx.tid = tid;
-      Append(s, std::move(cmd));
-    }
-  }
+  SeqMsg m;
+  m.kind = SeqMsg::Kind::kFinalize;
+  m.tid = tid;
+  seq_ring_.Push(std::move(m));
 }
 
 void ShardedAion::DispatchGc(Timestamp watermark) {
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    ShardCmd cmd;
-    cmd.kind = ShardCmd::Kind::kGc;
-    cmd.gc_watermark = watermark;
-    Append(s, std::move(cmd));
-  }
+  SeqMsg m;
+  m.kind = SeqMsg::Kind::kGc;
+  m.gc_watermark = watermark;
+  seq_ring_.Push(std::move(m));
 }
 
 void ShardedAion::OnTransaction(const Transaction& t, uint64_t now_ms) {
-  ingress_.OnTransaction(t, now_ms);
+  // Raw arrival to its pre-stage worker first (round-robin by arrival
+  // index), so classification overlaps the admission checks below. The
+  // worker assignment depends only on the arrival sequence — never on
+  // timing — and the sequencer re-joins results in arrival order, so
+  // verdicts and emission are independent of the worker count.
+  PreStage& ps = *prestages_[arrival_seq_ % prestages_.size()];
+  ++arrival_seq_;
+  ps.in.Push(Transaction(t));
+
+  // Cross-transaction admission on the caller thread: deadlines fired
+  // here sequence their finalize headers (DispatchFinalize) before this
+  // arrival's own header, exactly like the monolith's order.
+  TxnIngress::Admission adm = ingress_.AdmitTxn(t, now_ms);
+
+  SeqMsg m;
+  m.kind = SeqMsg::Kind::kTxn;
+  m.admit = adm.kind;
+  m.register_reads = adm.register_reads;
+  m.ctx = adm.ctx;
+  m.now_ms = adm.now_ms;
+  seq_ring_.Push(std::move(m));
 }
 
 void ShardedAion::AdvanceTime(uint64_t now_ms) {
@@ -288,6 +418,15 @@ void ShardedAion::GcToLiveTarget(size_t target) {
   ingress_.GcToLiveTarget(target);
 }
 
+void ShardedAion::WaitAll() {
+  SeqMsg m;
+  m.kind = SeqMsg::Kind::kBarrier;
+  m.ticket = ++barrier_next_;
+  seq_ring_.Push(std::move(m));
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  barrier_cv_.wait(lock, [&] { return barrier_done_ >= barrier_next_; });
+}
+
 void ShardedAion::Finish() {
   ingress_.Finish();
   WaitAll();
@@ -297,6 +436,8 @@ void ShardedAion::Finish() {
 void ShardedAion::EmitViolations() {
   std::vector<TaggedViolation> all = std::move(coord_violations_);
   coord_violations_.clear();
+  all.insert(all.end(), seq_violations_.begin(), seq_violations_.end());
+  seq_violations_.clear();
   for (auto& shard : shards_) {
     all.insert(all.end(), shard->violations.begin(), shard->violations.end());
     shard->violations.clear();
@@ -324,8 +465,13 @@ ShardedAion::StateImage ShardedAion::ExportState() {
     StateWriter w;
     w.U64(shards_.size());
     WriteStats(&w, coord_stats_);
-    w.U64(coord_violations_.size());
+    // Admission-side then INT reports: import loads both into the
+    // caller's buffer, so export -> import -> export is byte-stable.
+    w.U64(coord_violations_.size() + seq_violations_.size());
     for (const TaggedViolation& tv : coord_violations_) {
+      WriteViolation(&w, tv.order_ts, tv.v);
+    }
+    for (const TaggedViolation& tv : seq_violations_) {
       WriteViolation(&w, tv.order_ts, tv.v);
     }
     std::vector<std::pair<TxnId, uint64_t>> masks(read_shard_mask_.begin(),
@@ -365,6 +511,7 @@ bool ShardedAion::ImportState(const StateImage& img) {
     if (r.U64() != shards_.size()) return false;
     ReadStats(&r, &coord_stats_);
     coord_violations_.clear();
+    seq_violations_.clear();
     uint64_t nv = r.U64();
     for (uint64_t i = 0; i < nv && r.ok(); ++i) {
       Timestamp order_ts;
@@ -424,6 +571,22 @@ FlipFlopStats ShardedAion::flip_stats() {
   FlipFlopStats merged;
   for (auto& shard : shards_) merged.Merge(shard->flips);
   return merged;
+}
+
+PipelineHealth ShardedAion::pipeline_health() {
+  WaitAll();
+  PipelineHealth h;
+  h.pre_stage_in.reserve(prestages_.size());
+  h.pre_stage_out.reserve(prestages_.size());
+  for (auto& ps : prestages_) {
+    h.pre_stage_in.push_back(ps->in.health());
+    h.pre_stage_out.push_back(ps->out.health());
+  }
+  h.seq_ring = seq_ring_.health();
+  h.shard_rings.reserve(shards_.size());
+  for (auto& shard : shards_) h.shard_rings.push_back(shard->ring.health());
+  h.sequencer_msgs = seq_msgs_;
+  return h;
 }
 
 CheckerFootprint ShardedAion::GetFootprint() const {

@@ -1,35 +1,56 @@
 // ShardedAion: AION over N key-partitioned KeyEngine shards, each owned
-// by a worker thread, fed through the batched BoundedQueue path (paper
-// Fig. 3, parallelized). The per-key decomposition is sound because
-// every expensive step of Algorithm 3 — NOCONFLICT overlap queries,
-// Step-3 EXT re-checks, frontier lookups, GC eviction — only consults
-// state of the key it operates on (cf. the per-key version-order
-// decomposition of Biswas & Enea).
+// by a worker thread, fed through lock-free SPSC rings (paper Fig. 3,
+// parallelized). The per-key decomposition is sound because every
+// expensive step of Algorithm 3 — NOCONFLICT overlap queries, Step-3
+// EXT re-checks, frontier lookups, GC eviction — only consults state of
+// the key it operates on (cf. the per-key version-order decomposition of
+// Biswas & Enea).
 //
-// Architecture:
-//   - The calling thread runs the transaction-scoped `TxnIngress`
-//     (SESSION/INT/timestamp checks, EXT timeout clock, GC watermark)
-//     and acts as coordinator: it partitions each transaction's
-//     footprint by hash(key) % N and appends per-shard commands to
-//     per-shard pending buffers, flushed as batches into each shard's
-//     BoundedQueue (one lock per batch).
-//   - Each worker drains its queue in FIFO order. Because the
-//     coordinator issues commands in one total order and engines never
-//     read other shards' keys, per-shard FIFO delivery reproduces the
-//     monolith's verdicts exactly: a 1-shard ShardedAion is verdict- and
-//     violation-identical to `Aion`.
+// Pipeline topology (every hand-off is an SpscRing, one ring per
+// producer/consumer pair):
+//
+//   caller ──in[i]──> pre-stage worker i ──out[i]──> sequencer ──> shard j
+//     └──────────────── seq ring (headers) ─────────────┘
+//
+//   - The calling thread runs only the *cross-transaction* half of the
+//     ingress (TxnIngress::AdmitTxn: SESSION/Eq.(1)/timestamp-uniqueness
+//     checks, EXT timeout clock, GC watermark decisions). Per arrival it
+//     hands the raw transaction to one pre-stage worker (round-robin by
+//     arrival index — a function of the stream, not of timing) and
+//     pushes the admission header into the sequencer ring.
+//   - Pre-stage workers run the pure per-transaction work in parallel:
+//     INT replay/classification (ClassifyOps) and key->shard
+//     partitioning, emitting one StagedTxn per arrival.
+//   - The sequencer thread joins headers with staged footprints in
+//     arrival order, applies the admission verdict (drop / INT-only /
+//     dispatch), owns the finalize fan-out masks, and stages ShardCmds
+//     into the per-shard rings with batched cursor publication (one
+//     release store per cmd_batch commands).
+//   - Each shard worker drains its ring in FIFO order. Because the
+//     sequencer issues commands in the caller's total order and engines
+//     never read other shards' keys, per-shard FIFO delivery reproduces
+//     the monolith's verdicts exactly: a 1-shard ShardedAion is verdict-
+//     and violation-identical to `Aion`, for any pre-stage worker count.
 //   - Finalize commands go only to the shards holding the transaction's
 //     external reads; GC commands broadcast the coordinator's effective
 //     watermark to every shard, which collects and spills independently
 //     (spill_dir/shard<i>) but at the same cut.
-//   - Violations are buffered per shard (plus the coordinator's own) and
-//     emitted to the sink at Finish(), sorted by (commit_ts, txn id,
-//     content) — deterministic regardless of shard count or thread
-//     timing. Buffering until Finish is deliberate: stragglers can
-//     report NOCONFLICT against spilled intervals of arbitrarily old
-//     transactions, so no mid-stream flush point preserves global
-//     sortedness. The cost is O(#violations) memory for the run —
-//     violations are anomalies, so this stays small in practice.
+//   - Violations are buffered per producer (caller, sequencer, shards)
+//     and emitted to the sink at Finish(), sorted by (commit_ts, txn id,
+//     content) — deterministic regardless of shard count, pre-stage
+//     worker count, or thread timing. Buffering until Finish is
+//     deliberate: stragglers can report NOCONFLICT against spilled
+//     intervals of arbitrarily old transactions, so no mid-stream flush
+//     point preserves global sortedness. The cost is O(#violations)
+//     memory for the run — violations are anomalies, so this stays small
+//     in practice.
+//
+// Determinism contract: every verdict-affecting decision (admission,
+// watermarks, finalize deadlines) is made synchronously on the caller
+// thread; the pipeline threads only execute work whose outcome is a pure
+// function of the commands they receive. GetFootprint().live_txns is
+// exact caller-side state, so GC-policy decisions — and hence WAL-replay
+// recovery — never depend on pipeline timing.
 #ifndef CHRONOS_ONLINE_SHARDED_AION_H_
 #define CHRONOS_ONLINE_SHARDED_AION_H_
 
@@ -48,7 +69,8 @@
 #include "core/txn_ingress.h"
 #include "core/types.h"
 #include "core/violation.h"
-#include "online/queue.h"
+#include "online/metrics.h"
+#include "online/spsc_ring.h"
 
 namespace chronos::online {
 
@@ -56,9 +78,10 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
  public:
   using Options = CheckerOptions;
 
-  /// `num_shards` is clamped to [1, 64]. `cmd_batch` commands are
-  /// buffered per shard before one PushBatch; `queue_capacity` bounds
-  /// each shard's queue (backpressure on the coordinator).
+  /// `num_shards` is clamped to [1, 64]; `options.pre_stage_workers` to
+  /// [1, 16]. `cmd_batch` commands are staged per shard ring before one
+  /// cursor publication; `queue_capacity` bounds each ring
+  /// (backpressure on the upstream stage).
   ShardedAion(const Options& options, size_t num_shards, ViolationSink* sink,
               size_t cmd_batch = 256, size_t queue_capacity = 8192);
   ~ShardedAion() override;
@@ -71,13 +94,13 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   void AdvanceTime(uint64_t now_ms) override;
   Timestamp Gc(Timestamp up_to) override;
   void GcToLiveTarget(size_t target) override;
-  /// Finalizes outstanding transactions, drains every shard, and emits
+  /// Finalizes outstanding transactions, drains the pipeline, and emits
   /// all buffered violations to the sink in (commit_ts, txn id) order.
   void Finish() override;
 
-  /// Cheap footprint: live_txns is exact (coordinator state); versions/
-  /// intervals/bytes read per-shard atomics that trail the workers by at
-  /// most one command batch (exact after Finish()/stats()).
+  /// Cheap footprint: live_txns is exact (caller-side ingress state);
+  /// versions/intervals/bytes read per-shard atomics that trail the
+  /// workers by at most one command batch (exact after Finish()/stats()).
   CheckerFootprint GetFootprint() const override;
 
   /// Exact footprint: drains every dispatched command first, so the
@@ -93,18 +116,23 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   /// until every dispatched command has executed.
   FlipFlopStats flip_stats();
 
+  /// Ring depth high-water marks, stall counts, and the coordinator idle
+  /// ratio (online/metrics.h). Drains the pipeline first so the snapshot
+  /// is quiescent.
+  PipelineHealth pipeline_health();
+
   size_t num_shards() const { return shards_.size(); }
+  size_t pre_stage_worker_count() const { return prestages_.size(); }
   Timestamp watermark() const { return ingress_.watermark(); }
 
   /// Crash-safe checkpoint support (online/checkpoint.h): a full state
   /// image, one byte-deterministic section per component. ExportState
-  /// drains every dispatched command first (the workers' done-barrier
-  /// mutex makes the subsequent coordinator-side reads race-free);
-  /// ImportState assumes a freshly constructed checker with the same
-  /// options and shard count, whose spill directories still hold the
-  /// epoch files the serialized manifests reference. The coordinator
-  /// section begins with the shard count so recovery can size the
-  /// checker before parsing the rest.
+  /// drains the pipeline first (the barrier handshake makes the
+  /// subsequent coordinator-side reads race-free); ImportState assumes a
+  /// freshly constructed checker with the same options and shard count,
+  /// whose spill directories still hold the epoch files the serialized
+  /// manifests reference. The coordinator section begins with the shard
+  /// count so recovery can size the checker before parsing the rest.
   struct StateImage {
     std::string ingress;
     std::string coordinator;  ///< shard count, stats, violations, masks
@@ -137,10 +165,45 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
     Violation v;
   };
 
-  struct Shard {
-    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+  /// One classified arrival, produced by a pre-stage worker: the txn's
+  /// INT reports (kept or discarded by the sequencer per the admission
+  /// verdict) plus its footprint sliced per touched shard.
+  struct StagedTxn {
+    struct Slice {
+      uint32_t shard = 0;
+      ClassifiedOps ops;
+    };
+    std::vector<TaggedViolation> int_reports;
+    std::vector<Slice> slices;
+  };
 
-    BoundedQueue<ShardCmd> queue;
+  /// Admission header the caller sequences per event. A kTxn header
+  /// pairs with exactly one StagedTxn from the arrival's pre-stage
+  /// worker (round-robin by arrival index).
+  struct SeqMsg {
+    enum class Kind : uint8_t { kTxn, kFinalize, kGc, kBarrier };
+    Kind kind = Kind::kTxn;
+    TxnIngress::Admission::Kind admit = TxnIngress::Admission::Kind::kDrop;
+    bool register_reads = false;
+    KeyEngine::TxnCtx ctx{};          // kTxn
+    uint64_t now_ms = 0;              // kTxn
+    Timestamp gc_watermark = kTsMin;  // kGc
+    TxnId tid = 0;                    // kFinalize
+    uint64_t ticket = 0;              // kBarrier
+  };
+
+  struct PreStage {
+    PreStage(size_t in_capacity, size_t out_capacity)
+        : in(in_capacity), out(out_capacity) {}
+    SpscRing<Transaction> in;  // caller -> worker (raw arrivals)
+    SpscRing<StagedTxn> out;   // worker -> sequencer (classified)
+    std::thread worker;
+  };
+
+  struct Shard {
+    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRing<ShardCmd> ring;             // sequencer -> worker
     std::unique_ptr<KeyEngine> engine;   // worker-thread state
     CheckerStats stats;                  // worker-written, read at barrier
     FlipFlopStats flips;                 // worker-written, read at barrier
@@ -150,9 +213,11 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
     std::atomic<size_t> intervals{0};
     std::atomic<size_t> approx_bytes{0};
 
-    // Coordinator-side command buffer and issue counter.
-    std::vector<ShardCmd> pending;
+    // Sequencer-side issue bookkeeping: commands staged into the ring
+    // (`issued`) and staged-but-unpublished since the last cursor
+    // publication (`staged`).
     uint64_t issued = 0;
+    uint32_t staged = 0;
 
     // Completion barrier: worker bumps `done` after executing a batch.
     std::mutex done_mu;
@@ -162,20 +227,34 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
     std::thread worker;
   };
 
-  // TxnIngress::Dispatch — partition and enqueue.
+  // TxnIngress::Dispatch. The caller drives the ingress through
+  // AdmitTxn, so DispatchTxn is never reached; finalize/GC decisions are
+  // forwarded to the sequencer as headers.
   void DispatchTxn(const KeyEngine::TxnCtx& ctx, ClassifiedOps&& ops,
                    bool register_reads, uint64_t now_ms) override;
   void DispatchFinalize(TxnId tid) override;
   void DispatchGc(Timestamp watermark) override;
 
   size_t ShardOf(Key key) const;
-  void Append(size_t shard, ShardCmd&& cmd);
-  void FlushShard(size_t shard);
-  /// Flushes all pending commands and blocks until every shard has
-  /// executed everything issued so far.
+
+  // Pre-stage worker: pure per-txn classification + partitioning.
+  void ClassifierLoop(PreStage* ps);
+  StagedTxn ClassifyAndPartition(const Transaction& t) const;
+
+  // Sequencer: in-order merge of headers and staged footprints; sole
+  // producer of every shard ring; owner of the finalize fan-out masks
+  // and the INT-report buffer.
+  void SequencerLoop();
+  void StageShard(size_t shard, ShardCmd&& cmd);
+  void FlushShards();
+  void WaitShardsDone();
+
+  /// Caller-side barrier: sequences a ticket and blocks until the
+  /// sequencer has drained every prior header and every shard has
+  /// executed everything issued.
   void WaitAll();
-  /// Merge-sorts all buffered violations into the sink (coordinator
-  /// thread, after WaitAll).
+  /// Merge-sorts all buffered violations into the sink (caller thread,
+  /// after WaitAll or after the pipeline joined).
   void EmitViolations();
 
   void WorkerLoop(Shard* shard);
@@ -184,18 +263,31 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   Options options_;
   ViolationSink* sink_;
   size_t cmd_batch_;
+
+  // --- caller-thread state ---
   CheckerStats coord_stats_;  // txns_processed, gc_passes
-  std::vector<TaggedViolation> coord_violations_;  // ingress-side reports
+  std::vector<TaggedViolation> coord_violations_;  // admission-side reports
+  uint64_t arrival_seq_ = 0;   // round-robin pre-stage assignment
+  uint64_t barrier_next_ = 0;  // last barrier ticket handed out
+
+  // --- pipeline plumbing ---
+  std::vector<std::unique_ptr<PreStage>> prestages_;
+  SpscRing<SeqMsg> seq_ring_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  // Per-shard slot index reused by DispatchTxn's partitioning (-1 when
-  // the shard is untouched by the current transaction; otherwise the
-  // command's position in that shard's pending buffer), plus the list of
-  // shards the current transaction touched.
-  std::vector<int32_t> slot_;
-  std::vector<uint32_t> touched_;
+  std::thread sequencer_;
+
+  // --- sequencer-thread state (caller may touch only at a barrier) ---
   // Which shards hold a registered transaction's external reads; the
   // finalize fan-out targets exactly these. Erased at finalize.
   std::unordered_map<TxnId, uint64_t> read_shard_mask_;
+  std::vector<TaggedViolation> seq_violations_;  // INT reports, arrival order
+  uint64_t seq_msgs_ = 0;
+
+  // Barrier handshake (sequencer signals, caller waits).
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  uint64_t barrier_done_ = 0;
+
   TxnIngress ingress_;
 };
 

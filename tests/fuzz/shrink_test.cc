@@ -130,6 +130,42 @@ TEST(ShrinkTest, OrphanedListPayloadIsDropped) {
       << "the orphaned payload must be compacted away";
 }
 
+// A failure that couples operations in *different* transactions: the
+// predicate needs the two marker writes (keys 7 and 8) to survive and
+// the counts of writes to keys 1 and 2 to stay equal. Neither coupled
+// write is removable alone (the counts diverge) and neither transaction
+// is removable whole (a marker would vanish), so a per-transaction op
+// pass plateaus at 4 ops / 3 txns. The global op sweep removes both
+// coupled writes in one predicate call because the chunk spans the
+// txn1/txn2 boundary, reaching 2 ops / 2 txns.
+TEST(ShrinkTest, CrossTxnCoupledOpsShrinkViaGlobalOpChunks) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).W(1, 10)
+                  .Txn(2, 0, 1, 3, 4).W(2, 20).W(7, 70)
+                  .Txn(3, 0, 2, 5, 6).W(8, 80)
+                  .Build();
+  auto fails = [](const History& c) {
+    size_t k1 = 0, k2 = 0;
+    bool w7 = false, w8 = false;
+    for (const Transaction& t : c.txns) {
+      for (const Op& op : t.ops) {
+        if (op.type != OpType::kWrite) continue;
+        k1 += op.key == 1;
+        k2 += op.key == 2;
+        w7 |= op.key == 7;
+        w8 |= op.key == 8;
+      }
+    }
+    return w7 && w8 && k1 == k2;
+  };
+  ASSERT_TRUE(fails(h));
+  ShrinkResult r = ShrinkHistory(h, fails);
+  EXPECT_TRUE(fails(r.minimized));
+  EXPECT_EQ(r.final_ops, 2u) << "the coupled pair (keys 1 and 2) must be "
+                                "removed together across the txn boundary";
+  EXPECT_EQ(r.final_txns, 2u);
+}
+
 TEST(ShrinkTest, MinimizesPlantedIntViolation) {
   workload::WorkloadParams p;
   p.txns = 200;

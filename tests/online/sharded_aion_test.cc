@@ -265,6 +265,67 @@ TEST(ShardedAionTest, RunThreadedDrivesShardedChecker) {
   EXPECT_EQ(shard_r.samples.size(), mono_r.samples.size());
 }
 
+TEST(ShardedAionTest, EmissionIsDeterministicAcrossPreStageWorkerCounts) {
+  // The pre-stage pool runs classification off the coordinator thread;
+  // its size (and any thread interleaving it causes) must never show in
+  // the emission or the merged stats.
+  History h = MakeWorkload(700, 18, /*faulty=*/true);
+  auto arrivals = SessionPreservingShuffle(h, 9);
+  CheckerOptions opt;
+  opt.ext_timeout_ms = 30;
+
+  std::vector<Violation> reference;
+  CheckerStats ref_stats;
+  for (size_t shards : {1u, 4u}) {
+    for (size_t workers : {1u, 2u, 4u}) {
+      opt.pre_stage_workers = workers;
+      VectorSink sink;
+      ShardedAion sharded(opt, shards, &sink);
+      EXPECT_EQ(sharded.pre_stage_worker_count(), workers);
+      DriveToEnd(&sharded, arrivals);
+      CheckerStats s = sharded.stats();
+      auto got = sink.TakeAll();
+      if (reference.empty()) {
+        reference = got;
+        ref_stats = s;
+        ASSERT_GT(reference.size(), 0u);
+        continue;
+      }
+      ASSERT_EQ(got.size(), reference.size())
+          << "shards=" << shards << " workers=" << workers;
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(got[i], reference[i])
+            << "shards=" << shards << " workers=" << workers << " index " << i;
+      }
+      EXPECT_TRUE(s == ref_stats)
+          << "shards=" << shards << " workers=" << workers;
+    }
+  }
+}
+
+TEST(ShardedAionTest, PipelineHealthCountsTraffic) {
+  History h = MakeWorkload(600, 19, /*faulty=*/false);
+  CheckerOptions opt;
+  opt.ext_timeout_ms = 1u << 30;
+  opt.pre_stage_workers = 2;
+  CountingSink sink;
+  ShardedAion sharded(opt, 2, &sink);
+  DriveToEnd(&sharded, h.txns);
+  PipelineHealth health = sharded.pipeline_health();
+  ASSERT_EQ(health.pre_stage_in.size(), 2u);
+  ASSERT_EQ(health.pre_stage_out.size(), 2u);
+  ASSERT_EQ(health.shard_rings.size(), 2u);
+  // Headers: one per arrival plus finalize/GC/barrier traffic.
+  EXPECT_GE(health.sequencer_msgs, 600u);
+  EXPECT_GT(health.seq_ring.depth_hwm, 0u);
+  uint64_t staged = 0;
+  for (const RingHealth& r : health.pre_stage_in) staged += r.depth_hwm;
+  EXPECT_GT(staged, 0u) << "arrivals must flow through the pre-stage";
+  double idle = health.CoordinatorIdleRatio();
+  EXPECT_GE(idle, 0.0);
+  EXPECT_LE(idle, 1.0);
+}
+
 TEST(ShardedAionTest, MakeCheckerSelectsImplementation) {
   History h = MakeWorkload(300, 17, /*faulty=*/true);
   CheckerOptions opt;

@@ -4,11 +4,11 @@
 //                 [--online] [--timeout-ms=5000] [--spill=/tmp/aion]
 //                 [--delay-mean=0 --delay-stddev=0]   (online only)
 //                 [--threaded] [--batch=500]          (online only)
-//                 [--shards=1]                        (online only)
+//                 [--shards=1] [--pre-stage-workers=2] (online only)
 //                 [--checkpoint-dir=DIR] [--checkpoint-every=5000]
 //                 [--resume] [--memory-ceiling=BYTES] (online only)
 //                 [--gc-every=0] [--gc-target=0]
-//                 [--max-report=20] [--help]
+//                 [--stats] [--max-report=20] [--help]
 //
 // Offline mode runs CHRONOS (--level=list: ChronosList); --online
 // replays the history through AION via the collector (delays model
@@ -36,7 +36,9 @@
 #include "core/chronos_list.h"
 #include "hist/codec.h"
 #include "hist/collector.h"
+#include "core/online_checker.h"
 #include "online/checkpoint.h"
+#include "online/metrics.h"
 #include "online/pipeline.h"
 #include "online/recovery.h"
 #include "online/sharded_aion.h"
@@ -62,6 +64,20 @@ void PrintReport(const CountingSink& sink, size_t max_report) {
   }
 }
 
+void PrintCheckerStats(const CheckerStats& s) {
+  std::printf("stats: txns=%llu ext_rechecks=%llu noconflict_checks=%llu "
+              "gc_passes=%llu spill_reloads=%llu unsafe_wm=%llu "
+              "unsafe_horizon=%llu corrupt_epochs=%llu\n",
+              static_cast<unsigned long long>(s.txns_processed),
+              static_cast<unsigned long long>(s.ext_rechecks),
+              static_cast<unsigned long long>(s.noconflict_checks),
+              static_cast<unsigned long long>(s.gc_passes),
+              static_cast<unsigned long long>(s.spill_reloads),
+              static_cast<unsigned long long>(s.unsafe_below_watermark),
+              static_cast<unsigned long long>(s.unsafe_below_horizon),
+              static_cast<unsigned long long>(s.corrupt_spill_epochs));
+}
+
 void PrintUsage(FILE* out) {
   std::fprintf(out,
       "usage: chronos_check --in=FILE [options]\n"
@@ -79,6 +95,10 @@ void PrintUsage(FILE* out) {
       "  --threaded            collector thread + batched delivery\n"
       "  --batch=N             delivery batch size (default 500)\n"
       "  --shards=N            key-partitioned ShardedAion workers\n"
+      "  --pre-stage-workers=N classifier threads ahead of the sharded\n"
+      "                        coordinator (default 2; verdict-neutral)\n"
+      "  --stats               print processing counters after the check\n"
+      "                        (sharded: plus pipeline ring health)\n"
       "\n"
       "crash-safe durable mode (--online, implies ShardedAion):\n"
       "  --checkpoint-dir=DIR  WAL + checkpoints here; enables durability\n"
@@ -132,8 +152,11 @@ int main(int argc, char** argv) {
     if (const char* spill = FlagValue(argc, argv, "--spill")) {
       opt.spill_dir = spill;
     }
+    opt.pre_stage_workers =
+        static_cast<size_t>(U64Flag(argc, argv, "--pre-stage-workers", 2));
     const size_t shards =
         static_cast<size_t>(U64Flag(argc, argv, "--shards", 1));
+    const bool want_stats = HasFlag(argc, argv, "--stats");
     if (const char* ckpt_dir = FlagValue(argc, argv, "--checkpoint-dir")) {
       // Durable driver: always the sharded checker (its state export is
       // the checkpoint format), even for one shard.
@@ -184,6 +207,10 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(runner.sheds()),
                   static_cast<unsigned long long>(
                       checker->flip_stats().total_flips()));
+      if (want_stats) {
+        PrintCheckerStats(checker->stats());
+        online::PrintPipelineHealth(checker->pipeline_health(), stdout);
+      }
       PrintReport(sink, max_report);
       return sink.total() > 0 ? 3 : 0;
     }
@@ -213,6 +240,12 @@ int main(int argc, char** argv) {
     std::printf("online %s check (%s): %.3fs (%.0f TPS), %llu flip-flops\n",
                 level.c_str(), driver.c_str(), sw.Seconds(), r.AvgTps(),
                 static_cast<unsigned long long>(flips));
+    if (want_stats) {
+      PrintCheckerStats(shard ? shard->stats() : mono->stats());
+      if (shard) {
+        online::PrintPipelineHealth(shard->pipeline_health(), stdout);
+      }
+    }
   } else {
     ChronosOptions opt;
     opt.gc_every_n_txns = U64Flag(argc, argv, "--gc-every", 0);

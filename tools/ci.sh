@@ -16,8 +16,8 @@ BUILD_DIR="${1:-build}"
 
 # The threaded test binaries TSan covers; extend when adding concurrent
 # suites (this list is the single source for local runs and CI).
-TSAN_TESTS=(batch_pipeline_test online_test sharded_aion_test
-            sharded_property_test list_parity_test)
+TSAN_TESTS=(spsc_ring_test batch_pipeline_test online_test
+            sharded_aion_test sharded_property_test list_parity_test)
 
 run_tsan() {
   local tsan_dir="${BUILD_DIR}-tsan"
@@ -77,8 +77,11 @@ else
   echo "chronos_fuzz not built (tools disabled); skipping fuzz smoke"
 fi
 
-# Bench smoke: minimal runtime, just proves the binaries execute.
+# Bench smoke: minimal runtime, just proves the binaries execute. The
+# tier-1 build is RelWithDebInfo, so the Release guard is waived — these
+# numbers are never recorded.
 if [[ -x "$BUILD_DIR/bench_micro" ]]; then
+  CHRONOS_BENCH_ALLOW_NONRELEASE=1 \
   BENCH_MIN_TIME=0.01 \
   BENCH_FILTER='BM_AionPerTxn/2000|BM_ShardedAionPerTxn/shards:2|BM_VersionedKvLookup/10000' \
     bench/run_micro.sh "$BUILD_DIR" "$BUILD_DIR/BENCH_micro_smoke.json"
