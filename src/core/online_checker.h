@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/types.h"
@@ -20,6 +21,22 @@ namespace chronos {
 /// the commit timestamp as the read view, and skips NOCONFLICT
 /// (paper Sec. VI-A).
 enum class CheckMode { kSi, kSer };
+
+/// Pipeline stage at which a stall hook fires (sharded checker only;
+/// the monolith has no pipeline). `stage_index` identifies the
+/// pre-stage worker or shard; the sequencer passes 0.
+enum class StallPoint : uint8_t {
+  kPreStage = 0,     ///< classifier worker, before classifying a batch
+  kSequencer = 1,    ///< sequencer, before processing a header batch
+  kShardWorker = 2,  ///< shard worker, before executing a command chunk
+};
+
+/// Test-only stall injection (explore/oracle.h, adversarial-timing
+/// tests): invoked from the pipeline threads, so it must be thread-safe
+/// and must not call back into the checker. Verdicts, stats, and
+/// emission order are independent of anything the hook does — that is
+/// the determinism contract the schedule enumerator certifies.
+using StallHook = std::function<void(StallPoint, size_t stage_index)>;
 
 /// Configuration shared by the monolithic and sharded checkers.
 struct CheckerOptions {
@@ -40,6 +57,9 @@ struct CheckerOptions {
   /// replay and key->shard partitioning off the coordinator thread;
   /// verdicts and emission order are independent of this value.
   size_t pre_stage_workers = 2;
+  /// Test-only forced-stall injection points in the sharded pipeline
+  /// (empty: never called, zero cost). See StallHook above.
+  StallHook stall_hook;
 };
 
 /// Aggregate processing counters. In the sharded checker the key-scoped

@@ -1,0 +1,113 @@
+#include "explore/enumerator.h"
+
+#include <algorithm>
+
+namespace chronos::explore {
+namespace {
+
+// DFS state over the canonical arrival indices. Enabledness is the
+// session partial order: an arrival is placeable once every earlier
+// (smaller-sno) arrival of its session is placed. Candidates are tried
+// in ascending canonical index, so the first complete schedule is the
+// lex-min linear extension — the reference schedule.
+class Dfs {
+ public:
+  Dfs(const std::vector<Arrival>& arrivals, const Dependence& dep,
+      uint64_t max_schedules, const ScheduleVisitor& visit)
+      : arrivals_(arrivals),
+        dep_(dep),
+        max_schedules_(max_schedules),
+        visit_(visit),
+        placed_(arrivals.size(), false) {
+    seq_.reserve(arrivals.size());
+  }
+
+  EnumerationCounts Run() {
+    Step();
+    return counts_;
+  }
+
+ private:
+  // An arrival is enabled when no unplaced same-session arrival has a
+  // smaller sno (same-session pairs are always dependent, so session
+  // order also survives every trace-equivalent swap).
+  bool Enabled(size_t i) const {
+    const Transaction* t = arrivals_[i].txn;
+    for (size_t j = 0; j < arrivals_.size(); ++j) {
+      if (j == i || placed_[j]) continue;
+      const Transaction* u = arrivals_[j].txn;
+      if (u->sid == t->sid && u->sno < t->sno) return false;
+    }
+    return true;
+  }
+
+  // Lex-normal-form check (the sleep-set discipline): appending `i` is
+  // allowed only if the backward walk over the prefix, through arrivals
+  // independent of `i`, never meets a canonically larger one — such a
+  // prefix could swap `i` before that arrival and is not the lex-min
+  // member of its trace class.
+  bool CanAppend(size_t i) const {
+    for (size_t k = seq_.size(); k-- > 0;) {
+      size_t j = seq_[k];
+      if (dep_.Depends(j, i)) break;
+      if (j > i) return false;
+    }
+    return true;
+  }
+
+  // Returns false to abort the whole enumeration.
+  bool Step() {
+    if (seq_.size() == arrivals_.size()) {
+      ++counts_.explored;
+      if (!visit_(seq_)) {
+        counts_.aborted = true;
+        return false;
+      }
+      if (max_schedules_ != 0 && counts_.explored >= max_schedules_) {
+        counts_.truncated = true;
+        return false;
+      }
+      return true;
+    }
+    for (size_t i = 0; i < arrivals_.size(); ++i) {
+      if (placed_[i] || !Enabled(i)) continue;
+      if (!CanAppend(i)) {
+        ++counts_.pruned;
+        continue;
+      }
+      placed_[i] = true;
+      seq_.push_back(i);
+      bool keep_going = Step();
+      seq_.pop_back();
+      placed_[i] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const std::vector<Arrival>& arrivals_;
+  const Dependence& dep_;
+  const uint64_t max_schedules_;
+  const ScheduleVisitor& visit_;
+
+  std::vector<bool> placed_;
+  std::vector<size_t> seq_;
+  EnumerationCounts counts_;
+};
+
+}  // namespace
+
+EnumerationCounts EnumerateSchedules(const std::vector<Arrival>& arrivals,
+                                     const Dependence& dep,
+                                     uint64_t max_schedules,
+                                     const ScheduleVisitor& visit) {
+  if (arrivals.empty()) {
+    EnumerationCounts c;
+    c.explored = 1;
+    visit({});
+    return c;
+  }
+  return Dfs(arrivals, dep, max_schedules, visit).Run();
+}
+
+}  // namespace chronos::explore

@@ -5,6 +5,7 @@
 #include <memory>
 #include <random>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "baselines/elle.h"
@@ -131,6 +132,33 @@ std::string CountsToString(const CheckerReport& r) {
 }
 
 }  // namespace
+
+ScheduleInvariance ScheduleInvarianceFor(bool finite_ext_timeout,
+                                         bool gc_active, bool has_dup_ts) {
+  ScheduleInvariance inv;
+  inv.dup_replay = has_dup_ts;                       // D6
+  inv.ext_exact = !finite_ext_timeout && !gc_active; // D5 / D7
+  inv.noconflict_exact = !gc_active;                 // D7
+  return inv;
+}
+
+bool HistoryHasDuplicateTs(const History& h, bool ser) {
+  std::unordered_map<Timestamp, TxnId> owner;
+  for (const Transaction& t : h.txns) {
+    // Eq.(1)-invalid transactions never reach the uniqueness check
+    // (TxnIngress::AdmitTxn returns kIntOnly first) in SI mode.
+    if (!ser && !t.TimestampsOrdered()) continue;
+    auto clashes = [&](Timestamp ts) {
+      auto [it, fresh] = owner.emplace(ts, t.tid);
+      return !fresh && it->second != t.tid;
+    };
+    if (ser ? clashes(t.commit_ts)
+            : (clashes(t.start_ts) || clashes(t.commit_ts))) {
+      return true;
+    }
+  }
+  return false;
+}
 
 FaultCounts FaultCounts::FromLog(const db::FaultLog& log) {
   FaultCounts c;
@@ -417,7 +445,11 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
     if (sc.strict && ref && aion) {
       bool dup = ref->Count(ViolationType::kTsDuplicate) > 0 ||
                  aion->Count(ViolationType::kTsDuplicate) > 0;
-      if (dup) {
+      // Strict scenarios run with an infinite timeout and no GC, so of
+      // the shared invariance table only the D6 axis can fire here.
+      const ScheduleInvariance inv = ScheduleInvarianceFor(
+          /*finite_ext_timeout=*/false, /*gc_active=*/false, dup);
+      if (inv.dup_replay) {
         if ((ref->Count(ViolationType::kTsDuplicate) > 0) !=
             (aion->Count(ViolationType::kTsDuplicate) > 0)) {
           disagree("aion-vs-chronos",
@@ -430,9 +462,11 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
                    "aion");
         }
       } else {
-        for (ViolationType t :
-             {ViolationType::kInt, ViolationType::kExt,
-              ViolationType::kNoConflict, ViolationType::kTsOrder}) {
+        std::vector<ViolationType> exact = {ViolationType::kInt,
+                                            ViolationType::kTsOrder};
+        if (inv.ext_exact) exact.push_back(ViolationType::kExt);
+        if (inv.noconflict_exact) exact.push_back(ViolationType::kNoConflict);
+        for (ViolationType t : exact) {
           if (ref->Count(t) != aion->Count(t)) {
             disagree("aion-vs-chronos",
                      std::string(ViolationTypeName(t)) + ": " + ref->name +

@@ -57,6 +57,32 @@
 
 namespace chronos::fuzz {
 
+/// Which per-class verdict equalities the expected-divergence table
+/// leaves intact when the same history is observed under two different
+/// session-preserving arrival orders (or online vs. the offline
+/// timestamp order). This is the machine-readable core of entries
+/// D4/D5/D6/D7 above, shared by the differ's strict rules and the
+/// exhaustive schedule enumerator (explore/oracle.h):
+///   - SESSION is always compared as a boolean (D4).
+///   - a finite EXT timeout waives exact EXT equality (D5); active GC
+///     waives EXT and NOCONFLICT (D7, stragglers below the watermark).
+///   - duplicate timestamps change which twin AION replays, so only
+///     TS-DUP detection (boolean) is comparable at all (D6).
+struct ScheduleInvariance {
+  bool dup_replay = false;       ///< D6: compare TS-DUP detection only
+  bool ext_exact = true;         ///< D5/D7
+  bool noconflict_exact = true;  ///< D7
+};
+
+ScheduleInvariance ScheduleInvarianceFor(bool finite_ext_timeout,
+                                         bool gc_active, bool has_dup_ts);
+
+/// True when two distinct transactions share a timestamp the ingress
+/// registers: commit timestamps under SER, start and commit under SI
+/// (Eq.(1)-invalid transactions never register theirs, and a single
+/// transaction's start==commit is not a duplicate).
+bool HistoryHasDuplicateTs(const History& h, bool ser);
+
 /// Plain (non-atomic) copy of the fault-injection ground truth.
 struct FaultCounts {
   uint64_t lost_updates = 0;

@@ -110,12 +110,14 @@ ShardedAion::ShardedAion(const Options& options, size_t num_shards,
     prestages_.push_back(std::make_unique<PreStage>(stage_cap, stage_cap));
   }
 
-  for (auto& shard : shards_) {
-    shard->worker = std::thread(&ShardedAion::WorkerLoop, this, shard.get());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->worker =
+        std::thread(&ShardedAion::WorkerLoop, this, shards_[i].get(), i);
   }
   sequencer_ = std::thread(&ShardedAion::SequencerLoop, this);
-  for (auto& ps : prestages_) {
-    ps->worker = std::thread(&ShardedAion::ClassifierLoop, this, ps.get());
+  for (size_t i = 0; i < prestages_.size(); ++i) {
+    prestages_[i]->worker =
+        std::thread(&ShardedAion::ClassifierLoop, this, prestages_[i].get(), i);
   }
 }
 
@@ -190,9 +192,12 @@ ShardedAion::StagedTxn ShardedAion::ClassifyAndPartition(
   return st;
 }
 
-void ShardedAion::ClassifierLoop(PreStage* ps) {
+void ShardedAion::ClassifierLoop(PreStage* ps, size_t index) {
   std::vector<Transaction> batch;
   while (ps->in.PopBatch(&batch, 64)) {
+    if (options_.stall_hook) {
+      options_.stall_hook(StallPoint::kPreStage, index);
+    }
     for (Transaction& t : batch) {
       ps->out.Push(ClassifyAndPartition(t));
     }
@@ -235,6 +240,9 @@ void ShardedAion::SequencerLoop() {
   uint64_t txn_seq = 0;
   const size_t num_prestages = prestages_.size();
   while (seq_ring_.PopBatch(&msgs, 256)) {
+    if (options_.stall_hook) {
+      options_.stall_hook(StallPoint::kSequencer, 0);
+    }
     for (SeqMsg& m : msgs) {
       ++seq_msgs_;
       switch (m.kind) {
@@ -312,9 +320,12 @@ void ShardedAion::SequencerLoop() {
 
 // --- shard workers ----------------------------------------------------
 
-void ShardedAion::WorkerLoop(Shard* shard) {
+void ShardedAion::WorkerLoop(Shard* shard, size_t index) {
   std::vector<ShardCmd> chunk;
   while (shard->ring.PopBatch(&chunk, cmd_batch_)) {
+    if (options_.stall_hook) {
+      options_.stall_hook(StallPoint::kShardWorker, index);
+    }
     for (ShardCmd& cmd : chunk) ExecuteCmd(shard, cmd);
     shard->versions.store(shard->engine->TotalVersions(),
                           std::memory_order_relaxed);

@@ -238,7 +238,7 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   size_t ShardOf(Key key) const;
 
   // Pre-stage worker: pure per-txn classification + partitioning.
-  void ClassifierLoop(PreStage* ps);
+  void ClassifierLoop(PreStage* ps, size_t index);
   StagedTxn ClassifyAndPartition(const Transaction& t) const;
 
   // Sequencer: in-order merge of headers and staged footprints; sole
@@ -257,7 +257,7 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   /// after WaitAll or after the pipeline joined).
   void EmitViolations();
 
-  void WorkerLoop(Shard* shard);
+  void WorkerLoop(Shard* shard, size_t index);
   void ExecuteCmd(Shard* shard, ShardCmd& cmd);
 
   Options options_;

@@ -1,0 +1,196 @@
+// The verdict-invariance oracles: clean and violating histories are
+// schedule-invariant across the whole adversarial checker matrix, the
+// divergence waivers (D5/D6/D7) apply, and the planted verdict-order
+// bug is caught and shrinks to a tiny repro with its flipping schedule
+// pinned in the sidecar.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "explore/oracle.h"
+#include "explore/schedule.h"
+
+#include "../testutil.h"
+
+namespace chronos::explore {
+namespace {
+
+using chronos::testing::HistoryBuilder;
+
+// Three writers + one reader on two keys, all cross-dependent on key 0.
+History StaleReadHistory() {
+  return HistoryBuilder()
+      .Txn(1, 0, 0, 1, 2).W(0, 1)
+      .Txn(2, 1, 0, 3, 4).W(0, 2)
+      .Txn(3, 2, 0, 5, 6).R(0, 1)  // stale: frontier at view 5 is 2
+      .Build();
+}
+
+// Reader whose view precedes a writer's commit on a shared key: clean
+// for the real checkers, but the planted arrival-time EXT oracle flips
+// between the two arrival orders.
+History PlantedFlipHistory() {
+  return HistoryBuilder()
+      .Txn(1, 0, 0, 5, 6).R(0, 0)
+      .Txn(2, 1, 0, 1, 10).W(0, 1)
+      .Build();
+}
+
+TEST(OracleTest, CleanHistoryIsInvariantAcrossAllSchedules) {
+  // Two key-disjoint groups: 36 classes out of 720 extensions.
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 2).W(0, 1)
+                  .Txn(2, 1, 0, 3, 4).W(0, 2)
+                  .Txn(3, 2, 0, 5, 6).R(0, 2)
+                  .Txn(4, 3, 0, 7, 8).W(1, 1)
+                  .Txn(5, 4, 0, 9, 10).W(1, 2)
+                  .Txn(6, 5, 0, 11, 12).R(1, 2)
+                  .Build();
+  ExploreOptions opts;
+  ExploreResult r = ExploreHistory(h, opts);
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_FALSE(r.flip_found) << r.rule << ": " << r.detail;
+  EXPECT_EQ(r.explored, 36u);
+  EXPECT_GT(r.pruned, 0u);
+  for (size_t c : r.reference_counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(OracleTest, ViolatingHistoryKeepsItsVerdictOnEverySchedule) {
+  ExploreOptions opts;
+  ExploreResult r = ExploreHistory(StaleReadHistory(), opts);
+  EXPECT_FALSE(r.flip_found) << r.rule << ": " << r.detail;
+  EXPECT_EQ(r.explored, 6u);  // fully dependent: all 3! orders
+  EXPECT_EQ(r.reference_counts[static_cast<size_t>(ViolationType::kExt)], 1u);
+}
+
+TEST(OracleTest, AdversarialTimingAgreesWithCalmTiming) {
+  ExploreOptions calm;
+  calm.oracle.adversarial_timing = false;
+  ExploreOptions stall;
+  stall.oracle.adversarial_timing = true;
+  ExploreResult a = ExploreHistory(StaleReadHistory(), calm);
+  ExploreResult b = ExploreHistory(StaleReadHistory(), stall);
+  EXPECT_FALSE(a.flip_found);
+  EXPECT_FALSE(b.flip_found);
+  EXPECT_EQ(a.reference_counts, b.reference_counts);
+  EXPECT_EQ(a.explored, b.explored);
+}
+
+TEST(OracleTest, NoConflictPairSurvivesScheduleNormalization) {
+  // Two overlapping writers: which one the report is attributed to
+  // depends on arrival order; the normalized unordered pair must not.
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 5).W(0, 1)
+                  .Txn(2, 1, 0, 2, 4).W(0, 2)
+                  .Txn(3, 2, 0, 7, 8).W(1, 1)  // independent bystander
+                  .Build();
+  ExploreOptions opts;
+  ExploreResult r = ExploreHistory(h, opts);
+  EXPECT_FALSE(r.flip_found) << r.rule << ": " << r.detail;
+  EXPECT_GE(r.reference_counts[static_cast<size_t>(ViolationType::kNoConflict)],
+            1u);
+}
+
+TEST(OracleTest, DuplicateTimestampsFallBackToDupDetectionOnly) {
+  // Two distinct txns sharing a commit timestamp: whichever arrives
+  // second is dropped (D6), so only TS-DUP detection is comparable.
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 1, 4).W(0, 1)
+                  .Txn(2, 1, 0, 2, 4).W(0, 2)
+                  .Build();
+  ExploreOptions opts;
+  ExploreResult r = ExploreHistory(h, opts);
+  EXPECT_FALSE(r.flip_found) << r.rule << ": " << r.detail;
+  EXPECT_GT(
+      r.reference_counts[static_cast<size_t>(ViolationType::kTsDuplicate)],
+      0u);
+}
+
+TEST(OracleTest, ActiveGcExploresAllExtensionsAndStaysInvariant) {
+  ExploreOptions opts;
+  opts.oracle.gc_every = 1;
+  opts.oracle.gc_target = 0;
+  ExploreResult r = ExploreHistory(StaleReadHistory(), opts);
+  // Position-sensitive: no pruning, every extension is its own class.
+  EXPECT_EQ(r.explored, 6u);
+  EXPECT_EQ(r.pruned, 0u);
+  // EXT/NOCONFLICT equality is waived under GC (D7) but INT/TS-ORDER
+  // counts and the impl-identity checks still must hold.
+  EXPECT_FALSE(r.flip_found) << r.rule << ": " << r.detail;
+}
+
+TEST(OracleTest, FiniteTimeoutDisablesPruningAndStaysInvariant) {
+  ExploreOptions opts;
+  opts.oracle.ext_timeout_ms = 2;
+  ExploreResult r = ExploreHistory(StaleReadHistory(), opts);
+  EXPECT_EQ(r.explored, 6u);
+  EXPECT_EQ(r.pruned, 0u);
+  EXPECT_FALSE(r.flip_found) << r.rule << ": " << r.detail;
+}
+
+TEST(OracleTest, OversizedHistoryIsRejectedWithClearError) {
+  HistoryBuilder b;
+  for (TxnId i = 1; i <= kMaxExploreTxns + 1; ++i) {
+    b.Txn(i, static_cast<SessionId>(i - 1), 0, 2 * i - 1, 2 * i).W(0, i);
+  }
+  ExploreResult r = ExploreHistory(b.Build(), {});
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_NE(r.error.find("at most"), std::string::npos);
+  EXPECT_EQ(r.explored, 0u);
+}
+
+TEST(OracleTest, PlantedFrontierBugIsCaughtAndShrinks) {
+  ExploreOptions opts;
+  opts.oracle.plant_frontier_bug = true;
+  History h = PlantedFlipHistory();
+
+  ExploreResult r = ExploreHistory(h, opts);
+  ASSERT_TRUE(r.flip_found);
+  EXPECT_EQ(r.rule, "planted-frontier");
+  ASSERT_EQ(r.flip_schedule.size(), 2u);
+  EXPECT_NE(r.flip_schedule, r.reference_schedule);
+
+  ShrunkFlip shrunk = ShrinkFlip(h, opts);
+  ASSERT_TRUE(shrunk.result.flip_found);
+  EXPECT_EQ(shrunk.result.rule, "planted-frontier");
+  EXPECT_LE(shrunk.history.txns.size(), 4u);
+  EXPECT_GT(shrunk.predicate_calls, 0u);
+
+  std::string sidecar = FormatScheduleSidecar(shrunk.result);
+  EXPECT_NE(sidecar.find("chronos-explore-schedule v1\n"), std::string::npos);
+  EXPECT_NE(sidecar.find("rule=planted-frontier\n"), std::string::npos);
+  EXPECT_NE(sidecar.find("reference="), std::string::npos);
+  EXPECT_NE(sidecar.find("flip="), std::string::npos);
+}
+
+// The planted bug buried in a larger history still shrinks to the
+// minimal flipping core (<= 4 txns per the acceptance bar; the core
+// here is 2).
+TEST(OracleTest, PlantedBugInLargerHistoryShrinksToTinyCore) {
+  History h = HistoryBuilder()
+                  .Txn(1, 0, 0, 5, 6).R(0, 0)
+                  .Txn(2, 1, 0, 1, 10).W(0, 1)
+                  .Txn(3, 2, 0, 11, 12).W(1, 1)
+                  .Txn(4, 3, 0, 13, 14).R(1, 1)
+                  .Txn(5, 4, 0, 15, 16).W(2, 7)
+                  .Build();
+  ExploreOptions opts;
+  opts.oracle.plant_frontier_bug = true;
+  ShrunkFlip shrunk = ShrinkFlip(h, opts);
+  ASSERT_TRUE(shrunk.result.flip_found);
+  EXPECT_LE(shrunk.history.txns.size(), 4u);
+  EXPECT_FALSE(shrunk.result.flip_schedule.empty());
+}
+
+TEST(OracleTest, MaxSchedulesTruncationIsReported) {
+  ExploreOptions opts;
+  opts.max_schedules = 2;
+  ExploreResult r = ExploreHistory(StaleReadHistory(), opts);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.explored, 2u);
+  EXPECT_FALSE(r.flip_found);
+}
+
+}  // namespace
+}  // namespace chronos::explore

@@ -180,6 +180,69 @@ TEST(SpscRingTest, MoveOnlyPayload) {
   EXPECT_EQ(**v, 42);
 }
 
+// Single-threaded boundary pins: walking the ring exactly to its
+// full and empty edges — without ever *waiting* at them — must not
+// count a stall. Stalls are park events, not boundary touches.
+TEST(SpscRingTest, ExactBoundariesWithoutWaitingCountNoStalls) {
+  SpscRing<int> ring(2);
+  ring.Push(1);
+  ring.Push(2);  // exactly full: succeeded without a wait
+  EXPECT_EQ(ring.SizeApprox(), ring.capacity());
+  EXPECT_EQ(ring.Pop().value(), 1);
+  EXPECT_EQ(ring.Pop().value(), 2);  // exactly empty again
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+  RingHealth h = ring.health();
+  EXPECT_EQ(h.producer_stalls, 0u);
+  EXPECT_EQ(h.consumer_stalls, 0u);
+  EXPECT_EQ(h.depth_hwm, 2u);
+}
+
+// Draining a closed ring hits the empty boundary but returns
+// end-of-stream from the spin fast-path: not a stall either.
+TEST(SpscRingTest, ClosedAndEmptyDrainCountsNoConsumerStall) {
+  SpscRing<int> ring(4);
+  ring.Push(1);
+  ring.Close();
+  EXPECT_EQ(ring.Pop().value(), 1);
+  EXPECT_FALSE(ring.Pop().has_value());  // closed + empty
+  std::vector<int> out;
+  EXPECT_FALSE(ring.PopBatch(&out, 4));
+  EXPECT_EQ(ring.health().consumer_stalls, 0u);
+}
+
+// Deterministic exactly-once increment at the full boundary: the
+// blocked producer's counter is observed to reach 1 *before* the
+// consumer frees a slot, and the retry after the wake finds room — so
+// the final count is exactly 1, not ">= 1 under contention".
+TEST(SpscRingTest, ProducerStallIncrementsExactlyOnceAtFullBoundary) {
+  SpscRing<int> ring(2);
+  ring.Push(1);
+  ring.Push(2);  // full
+  std::thread producer([&] { ring.Push(3); });  // must park
+  while (ring.health().producer_stalls == 0) std::this_thread::yield();
+  EXPECT_EQ(ring.health().producer_stalls, 1u);
+  EXPECT_EQ(ring.Pop().value(), 1);  // frees the slot; push 3 completes
+  producer.join();
+  EXPECT_EQ(ring.health().producer_stalls, 1u);
+  EXPECT_EQ(ring.Pop().value(), 2);
+  EXPECT_EQ(ring.Pop().value(), 3);
+  EXPECT_EQ(ring.health().consumer_stalls, 0u);  // never popped empty
+}
+
+// Mirror image at the empty boundary: exactly one consumer stall.
+TEST(SpscRingTest, ConsumerStallIncrementsExactlyOnceAtEmptyBoundary) {
+  SpscRing<int> ring(2);
+  std::vector<int> out;
+  std::thread consumer([&] { ASSERT_TRUE(ring.PopBatch(&out, 2)); });
+  while (ring.health().consumer_stalls == 0) std::this_thread::yield();
+  EXPECT_EQ(ring.health().consumer_stalls, 1u);
+  ring.Push(7);  // wakes the consumer; the retry finds the item
+  consumer.join();
+  EXPECT_EQ(ring.health().consumer_stalls, 1u);
+  EXPECT_EQ(out, (std::vector<int>{7}));
+  EXPECT_EQ(ring.health().producer_stalls, 0u);  // never pushed full
+}
+
 TEST(SpscRingTest, HealthCountsStalls) {
   SpscRing<int> ring(2);
   ring.Push(1);

@@ -17,7 +17,8 @@ BUILD_DIR="${1:-build}"
 # The threaded test binaries TSan covers; extend when adding concurrent
 # suites (this list is the single source for local runs and CI).
 TSAN_TESTS=(spsc_ring_test batch_pipeline_test online_test
-            sharded_aion_test sharded_property_test list_parity_test)
+            sharded_aion_test sharded_property_test list_parity_test
+            pipeline_health_test explore_oracle_test)
 
 run_tsan() {
   local tsan_dir="${BUILD_DIR}-tsan"
@@ -29,14 +30,28 @@ run_tsan() {
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
         -DCMAKE_CXX_FLAGS_RELWITHDEBINFO="-O1 -g" \
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
-        -DCHRONOS_BUILD_BENCH=OFF -DCHRONOS_BUILD_TOOLS=OFF \
+        -DCHRONOS_BUILD_BENCH=OFF -DCHRONOS_BUILD_TOOLS=ON \
         -DCHRONOS_BUILD_EXAMPLES=OFF
-  cmake --build "$tsan_dir" -j --target "${TSAN_TESTS[@]}"
+  cmake --build "$tsan_dir" -j --target "${TSAN_TESTS[@]}" chronos_explore
   local t
   for t in "${TSAN_TESTS[@]}"; do
     echo "tsan: $t"
     "$tsan_dir/$t"
   done
+  # Bounded schedule exploration under TSan: a fixed history set through
+  # the full adversarial matrix (forced stalls, capacity-2 rings,
+  # per-arrival restore) — certifies the stall-hook plumbing and the
+  # verdict-invariance loop race-free. Any flip fails the stage and
+  # leaves its .repro + .schedule sidecar under $tsan_dir/explore-out.
+  echo "tsan: chronos_explore bounded exploration"
+  "$tsan_dir/chronos_explore" --repro=tests/corpus/fig11_stale_read.repro \
+                              --out-dir="$tsan_dir/explore-out"
+  "$tsan_dir/chronos_explore" --repro=tests/corpus/gc_straggler.repro \
+                              --out-dir="$tsan_dir/explore-out"
+  "$tsan_dir/chronos_explore" --repro=tests/corpus/list_stale_read.repro \
+                              --out-dir="$tsan_dir/explore-out"
+  "$tsan_dir/chronos_explore" --sweep-seeds=10 \
+                              --out-dir="$tsan_dir/explore-out"
 }
 
 if [[ "${CHRONOS_CI_TSAN_ONLY:-0}" == "1" ]]; then
