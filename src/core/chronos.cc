@@ -12,6 +12,7 @@
 #include "core/event_timeline.h"
 #include "core/session_order.h"
 #include "core/small_map.h"
+#include "core/txn_ingress.h"
 
 namespace chronos {
 namespace {
@@ -271,6 +272,240 @@ CheckStats ChronosSer::Check(History&& history) {
 CheckStats ChronosSer::CheckHistory(const History& history,
                                     ViolationSink* sink) {
   ChronosSer checker(sink);
+  History copy = history;
+  return checker.Check(std::move(copy));
+}
+
+CheckStats ChronosMixed::Check(History&& history) {
+  CheckStats stats;
+  stats.txns = history.txns.size();
+  stats.ops = history.NumOps();
+  CountingSink counted(0);
+  auto report = [&](const Violation& v) {
+    sink_->Report(v);
+    counted.Report({v.type, v.tid});
+  };
+
+  Stopwatch sw;
+  const size_t n = history.txns.size();
+  // Canonical admission order: commit timestamps, ties by tid — the
+  // arrival order every schedule-invariant verdict is independent of.
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Transaction &ta = history.txns[a], &tb = history.txns[b];
+    if (ta.commit_ts != tb.commit_ts) return ta.commit_ts < tb.commit_ts;
+    return ta.tid < tb.tid;
+  });
+  stats.sort_seconds = sw.Seconds();
+  sw.Reset();
+
+  // ---- Admission replay: Eq. (1) and the per-level dup-gate. ----
+  enum : uint8_t { kDropped = 0, kIntOnly = 1, kAdmitted = 2 };
+  std::vector<uint8_t> admit(n, kDropped);
+  std::unordered_set<Timestamp> used;
+  used.reserve(n * 2);
+  std::unordered_map<SessionId, SessionState> sessions;
+  for (uint32_t idx : order) {
+    const Transaction& t = history.txns[idx];
+    const IsolationLevel lv = EffectiveLevel(t, default_mode_);
+    if (lv == IsolationLevel::kSi && !t.TimestampsOrdered()) {
+      report({ViolationType::kTsOrder, t.tid, kTxnNone, 0,
+              static_cast<Value>(t.start_ts),
+              static_cast<Value>(t.commit_ts)});
+      sessions[t.sid].skipped_snos.insert(t.sno);
+      admit[idx] = kIntOnly;
+      continue;
+    }
+    bool dup = false;
+    if (lv == IsolationLevel::kSer) {
+      dup = !used.insert(t.commit_ts).second;
+    } else if (lv == IsolationLevel::kSi) {
+      dup = used.count(t.start_ts) || used.count(t.commit_ts);
+      if (!dup) {
+        used.insert(t.start_ts);
+        used.insert(t.commit_ts);
+      }
+    }  // RC/RA: no registration, never gated here
+    if (dup) {
+      report({ViolationType::kTsDuplicate, t.tid});
+      sessions[t.sid].skipped_snos.insert(t.sno);
+      continue;
+    }
+    admit[idx] = kAdmitted;
+  }
+
+  // ---- INT + footprint classification (per-txn, order-free). ----
+  auto classify_report = [&](Timestamp, const Violation& v) { report(v); };
+  std::vector<ClassifiedOps> footprints(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (admit[i] == kAdmitted) {
+      ClassifyOps(history.txns[i], classify_report, &footprints[i]);
+    } else if (admit[i] == kIntOnly) {
+      ClassifyOps(history.txns[i], classify_report, nullptr);
+    }
+  }
+
+  // ---- SESSION: per session in sequence-number order, with the
+  // per-level ordering rule of TxnIngress::CheckSession. ----
+  {
+    std::unordered_map<SessionId, std::vector<uint32_t>> by_session;
+    for (uint32_t i = 0; i < n; ++i) by_session[history.txns[i].sid].push_back(i);
+    for (auto& [sid, idxs] : by_session) {
+      std::sort(idxs.begin(), idxs.end(), [&](uint32_t a, uint32_t b) {
+        const Transaction &ta = history.txns[a], &tb = history.txns[b];
+        if (ta.sno != tb.sno) return ta.sno < tb.sno;
+        return ta.tid < tb.tid;
+      });
+      SessionState& ss = sessions[sid];
+      for (uint32_t idx : idxs) {
+        if (admit[idx] != kAdmitted) continue;  // skipped_snos already set
+        const Transaction& t = history.txns[idx];
+        const IsolationLevel lv = EffectiveLevel(t, default_mode_);
+        AdvanceOverSkipped(&ss);
+        const bool si = lv == IsolationLevel::kSi;
+        Timestamp order_ts = si ? t.start_ts : t.commit_ts;
+        bool bad_order = si ? order_ts < ss.last_cts
+                            : order_ts <= ss.last_cts && ss.last_sno >= 0;
+        if (static_cast<int64_t>(t.sno) != ss.last_sno + 1 || bad_order) {
+          report({ViolationType::kSession, t.tid, kTxnNone, 0,
+                  static_cast<Value>(ss.last_sno + 1),
+                  static_cast<Value>(t.sno)});
+        }
+        ss.last_sno = static_cast<int64_t>(t.sno);
+        ss.last_cts = t.commit_ts;
+      }
+    }
+  }
+
+  // ---- Final version chains from admitted final writes. A per-key
+  // commit-ts collision (possible only with an unregistered RC/RA
+  // writer in the pair) mirrors the engine's install-time TS-DUP. ----
+  struct ChainVersion {
+    Timestamp ts;
+    Value value;
+    TxnId tid;
+  };
+  std::unordered_map<Key, std::vector<ChainVersion>> chains;
+  for (uint32_t idx : order) {
+    if (admit[idx] != kAdmitted) continue;
+    const Transaction& t = history.txns[idx];
+    for (const KeyEngine::WriteReq& w : footprints[idx].writes) {
+      auto& chain = chains[w.key];
+      bool collide = false;
+      for (const ChainVersion& v : chain) {
+        if (v.ts == t.commit_ts) {
+          collide = true;
+          break;
+        }
+      }
+      if (collide) {
+        report({ViolationType::kTsDuplicate, t.tid, kTxnNone, w.key});
+      } else {
+        chain.push_back({t.commit_ts, w.value, t.tid});
+      }
+    }
+  }
+  for (auto& [key, chain] : chains) {
+    std::sort(chain.begin(), chain.end(),
+              [](const ChainVersion& a, const ChainVersion& b) {
+                return a.ts < b.ts;
+              });
+  }
+
+  // ---- EXT against the final chains, per reader level. ----
+  auto frontier_at = [&](Key key, Timestamp view, bool inclusive,
+                         TxnId skip_tid) -> VersionedKv::Lookup {
+    VersionedKv::Lookup best;
+    auto it = chains.find(key);
+    if (it == chains.end()) return best;
+    for (const ChainVersion& v : it->second) {
+      if (inclusive ? v.ts > view : v.ts >= view) break;
+      if (v.tid == skip_tid) continue;
+      best = VersionedKv::Lookup{v.value, v.tid, v.ts};
+    }
+    return best;
+  };
+  for (uint32_t idx : order) {
+    if (admit[idx] != kAdmitted) continue;
+    const Transaction& t = history.txns[idx];
+    const IsolationLevel lv = EffectiveLevel(t, default_mode_);
+    const bool si = lv == IsolationLevel::kSi;
+    const Timestamp view = si ? t.start_ts : t.commit_ts;
+    for (const KeyEngine::ExtReadReq& r : footprints[idx].ext_reads) {
+      bool ok;
+      if (MembershipLevel(lv)) {
+        ok = r.observed == kValueInit;
+        if (!ok) {
+          auto it = chains.find(r.key);
+          if (it != chains.end()) {
+            for (const ChainVersion& v : it->second) {
+              if (v.ts >= view) break;
+              if (v.tid != t.tid && v.value == r.observed) {
+                ok = true;
+                break;
+              }
+            }
+          }
+        }
+      } else {
+        ok = frontier_at(r.key, view, si, t.tid).value == r.observed;
+      }
+      if (!ok) {
+        // Attribution mirrors KeyEngine::FinalizeTxn: the raw frontier
+        // at the view (the reader's own version not excluded).
+        VersionedKv::Lookup cur = frontier_at(r.key, view, si, kTxnNone);
+        report({ViolationType::kExt, t.tid, cur.tid, r.key, cur.value,
+                r.observed});
+      }
+    }
+  }
+
+  // ---- NOCONFLICT: pairwise SI-vs-SI write-interval overlap. ----
+  {
+    struct Interval {
+      Timestamp start, end;
+      TxnId tid;
+    };
+    std::unordered_map<Key, std::vector<Interval>> intervals;
+    for (uint32_t idx : order) {
+      if (admit[idx] != kAdmitted) continue;
+      const Transaction& t = history.txns[idx];
+      if (EffectiveLevel(t, default_mode_) != IsolationLevel::kSi) continue;
+      SmallMap<Key, bool> seen_key;
+      auto add = [&](Key key) {
+        if (seen_key.Find(key)) return;
+        seen_key.Put(key, true);
+        intervals[key].push_back({t.start_ts, t.commit_ts, t.tid});
+      };
+      for (const KeyEngine::WriteReq& w : footprints[idx].writes) add(w.key);
+      for (const KeyEngine::AppendReq& a : footprints[idx].appends) {
+        add(a.key);
+      }
+    }
+    for (const auto& [key, ivs] : intervals) {
+      for (size_t i = 0; i < ivs.size(); ++i) {
+        for (size_t j = i + 1; j < ivs.size(); ++j) {
+          const Interval &a = ivs[i], &b = ivs[j];
+          if (a.start <= b.end && a.end >= b.start) {
+            TxnId first = a.end < b.end ? a.tid : b.tid;
+            TxnId second = first == a.tid ? b.tid : a.tid;
+            report({ViolationType::kNoConflict, first, second, key});
+          }
+        }
+      }
+    }
+  }
+
+  stats.check_seconds = sw.Seconds();
+  stats.violations = counted.total();
+  return stats;
+}
+
+CheckStats ChronosMixed::CheckHistory(const History& history,
+                                      CheckMode default_mode,
+                                      ViolationSink* sink) {
+  ChronosMixed checker(default_mode, sink);
   History copy = history;
   return checker.Check(std::move(copy));
 }

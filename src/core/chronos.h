@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "core/online_checker.h"
 #include "core/stats.h"
 #include "core/types.h"
 #include "core/violation.h"
@@ -56,6 +57,39 @@ class ChronosSer {
   static CheckStats CheckHistory(const History& history, ViolationSink* sink);
 
  private:
+  ViolationSink* sink_;
+};
+
+/// CHRONOS-MIXED: the offline mirror of AION on per-transaction
+/// isolation levels (Transaction::iso; untagged transactions fall back
+/// to `default_mode`). An independent, batch re-implementation of the
+/// online per-level semantics, used by the differ as the white-box
+/// reference for mixed histories:
+///   - admission replayed in canonical (commit_ts, tid) order with
+///     per-level timestamp registration (SER {commit}, Eq.(1)-valid SI
+///     {start, commit}, RC/RA none);
+///   - version chains built from the final writes of admitted
+///     transactions only, with engine-style TS-DUP on per-key commit
+///     collisions (the RC/RA dup-gate bypass fallback);
+///   - EXT evaluated against the *final* chains per reader level (SI
+///     inclusive snapshot, SER exclusive frontier, RC/RA committed
+///     membership strictly before the commit view), which equals AION's
+///     Finish-time verdicts under an infinite EXT timeout and no GC;
+///   - NOCONFLICT as pairwise SI-vs-SI write-interval overlap per key;
+///   - SESSION replayed per session in sequence-number order with the
+///     per-level ordering rule of TxnIngress::CheckSession.
+class ChronosMixed {
+ public:
+  ChronosMixed(CheckMode default_mode, ViolationSink* sink)
+      : default_mode_(default_mode), sink_(sink) {}
+
+  CheckStats Check(History&& history);
+
+  static CheckStats CheckHistory(const History& history,
+                                 CheckMode default_mode, ViolationSink* sink);
+
+ private:
+  CheckMode default_mode_;
   ViolationSink* sink_;
 };
 

@@ -33,23 +33,24 @@ template <typename Fn>
 void KeyEngine::WalkAffectedReaders(const ReaderChain& readers, Timestamp cts,
                                     const std::optional<Timestamp>& upper,
                                     TxnId writer, Fn&& fn) {
-  const bool ser = options_.mode == CheckMode::kSer;
   auto view_lt = [](const ReaderRef& r, Timestamp ts) {
     return r.view_ts < ts;
   };
-  auto view_gt = [](Timestamp ts, const ReaderRef& r) {
-    return ts < r.view_ts;
-  };
-  auto begin = ser ? std::upper_bound(readers.begin(), readers.end(), cts,
-                                      view_gt)
-                   : std::lower_bound(readers.begin(), readers.end(), cts,
-                                      view_lt);
+  auto begin =
+      std::lower_bound(readers.begin(), readers.end(), cts, view_lt);
   for (auto it = begin; it != readers.end(); ++it) {
     if (upper && it->view_ts > *upper) break;
     auto tit = local_txns_.find(it->tid);
     if (tit == local_txns_.end()) continue;
     if (tit->second.finalized) continue;  // Algorithm 3 line 40
     if (it->tid == writer) continue;
+    // The lower range bound is per *reader* level (chains may mix
+    // levels): SI sees the version at its own view ([cts, ...]), every
+    // commit-view level sees strictly earlier versions only ((cts, ...]).
+    if (it->view_ts == cts &&
+        tit->second.level != IsolationLevel::kSi) {
+      continue;
+    }
     fn(*it, tit->second);
   }
 }
@@ -64,26 +65,36 @@ KeyEngine::KeyEngine(const Options& options, CheckerStats* stats,
 
 void KeyEngine::ProcessTxn(const TxnCtx& ctx, const OpsView& ops,
                            bool register_reads, uint64_t now_ms) {
-  const bool ser = options_.mode == CheckMode::kSer;
+  const bool membership = MembershipLevel(ctx.level);
 
   // Step 1 (per-key half): tentative EXT verdict against the current
-  // frontier at the read view (Algorithm 3 lines 13-15). A replayed tid
-  // keeps its original record and registrations (register_reads false):
-  // its reads are ignored — re-evaluating them could only feed a record
-  // that does not exist — but its writes below still go through Steps
-  // 2-3 like any other arrival.
+  // frontier at the read view (Algorithm 3 lines 13-15) — or, for the
+  // commit-order levels (RC/RA), against committed membership before
+  // the view. A replayed tid keeps its original record and
+  // registrations (register_reads false): its reads are ignored —
+  // re-evaluating them could only feed a record that does not exist —
+  // but its writes below still go through Steps 2-3 like any other
+  // arrival.
   LocalTxn* rec = nullptr;
   if (register_reads && ops.num_reads + ops.num_list_reads > 0) {
     rec = &local_txns_[ctx.tid];
     rec->view_ts = ctx.view_ts;
     rec->commit_ts = ctx.commit_ts;
+    rec->level = ctx.level;
     rec->ext_reads.reserve(ops.num_reads);
     for (size_t i = 0; i < ops.num_reads; ++i) {
-      VersionedKv::Lookup cur = LookupFrontier(ops.reads[i].key, ctx.view_ts);
       ExtReadState er;
       er.key = ops.reads[i].key;
       er.observed = ops.reads[i].observed;
-      er.satisfied = (cur.value == ops.reads[i].observed);
+      if (membership) {
+        er.satisfied =
+            EvaluateMembership(er.key, ctx.view_ts, er.observed);
+      } else {
+        VersionedKv::Lookup cur =
+            LookupFrontier(er.key, ctx.view_ts,
+                           /*inclusive=*/ctx.level == IsolationLevel::kSi);
+        er.satisfied = (cur.value == er.observed);
+      }
       er.last_change_ms = now_ms;
       rec->ext_reads.push_back(er);
     }
@@ -126,8 +137,10 @@ void KeyEngine::ProcessTxn(const TxnCtx& ctx, const OpsView& ops,
         chain.insert(pos, ref);
       }
     };
+    auto* register_index =
+        membership ? &membership_reader_index_ : &reader_index_;
     for (uint32_t i = 0; i < rec->ext_reads.size(); ++i) {
-      register_ref(&reader_index_, rec->ext_reads[i].key, i);
+      register_ref(register_index, rec->ext_reads[i].key, i);
     }
     for (uint32_t i = 0; i < rec->list_reads.size(); ++i) {
       register_ref(&list_reader_index_, rec->list_reads[i].key, i);
@@ -145,10 +158,13 @@ void KeyEngine::ProcessTxn(const TxnCtx& ctx, const OpsView& ops,
                             now_ms);
   }
 
-  // Step 2: NOCONFLICT against overlapping writers (SI only; appends are
-  // writers of their key too, and a key both written and appended by the
-  // same transaction is checked and registered once).
-  if (!ser && ops.num_writes + ops.num_appends > 0) {
+  // Step 2: NOCONFLICT against overlapping writers (SI transactions
+  // only — commit-order levels have no validated start interval, so
+  // neither their writes register intervals nor are they checked;
+  // appends are writers of their key too, and a key both written and
+  // appended by the same transaction is checked and registered once).
+  if (ctx.level == IsolationLevel::kSi &&
+      ops.num_writes + ops.num_appends > 0) {
     for (size_t i = 0; i < ops.num_writes; ++i) {
       CheckNoConflictKey(ctx, ops.writes[i].key);
     }
@@ -176,8 +192,8 @@ void KeyEngine::ProcessTxn(const TxnCtx& ctx, const OpsView& ops,
   }
 }
 
-VersionedKv::Lookup KeyEngine::LookupFrontier(Key key, Timestamp view) {
-  const bool inclusive = options_.mode == CheckMode::kSi;
+VersionedKv::Lookup KeyEngine::LookupFrontier(Key key, Timestamp view,
+                                              bool inclusive) {
   VersionedKv::Lookup mem = inclusive ? versions_.GetAtOrBefore(key, view)
                                       : versions_.GetBefore(key, view);
   if (view >= watermark_ || watermark_ == kTsMin) return mem;
@@ -187,10 +203,44 @@ VersionedKv::Lookup KeyEngine::LookupFrontier(Key key, Timestamp view) {
     ++stats_->unsafe_below_watermark;
     return mem;
   }
-  VersionedKv::Lookup spilled = LookupSpilled(key, view);
+  VersionedKv::Lookup spilled = LookupSpilled(key, view, inclusive);
   return spilled.ts > mem.ts || (mem.tid == kTxnNone && spilled.tid != kTxnNone)
              ? spilled
              : mem;
+}
+
+bool KeyEngine::EvaluateMembership(Key key, Timestamp view, Value observed) {
+  // The initial transaction (bottom-T) committed every key's initial
+  // value, so it is always a member.
+  if (observed == kValueInit) return true;
+  if (versions_.HasValueBefore(key, view, observed)) return true;
+  // The membership window spans [bottom, view): once GC has evicted
+  // anything, the in-memory chain alone is incomplete for every key
+  // with a collapsed base — merge with the spill store or degrade.
+  if (watermark_ == kTsMin) return false;
+  if (!spill_.persistent()) {
+    ++stats_->unsafe_below_watermark;
+    return false;
+  }
+  bool degraded = false;
+  bool found = false;
+  for (uint64_t id : spill_epochs_) {
+    SpillPayload scratch;
+    const SpillPayload* payload = LoadEpoch(id, &scratch);
+    if (!payload) {
+      degraded = true;
+      continue;
+    }
+    for (const auto& [k, ts, entry] : payload->versions) {
+      if (k == key && ts < view && entry.value == observed) {
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  if (!found && degraded) ++stats_->unsafe_below_watermark;
+  return found;
 }
 
 const SpillPayload* KeyEngine::LoadEpoch(uint64_t id, SpillPayload* scratch) {
@@ -223,8 +273,8 @@ const SpillPayload* KeyEngine::LoadEpoch(uint64_t id, SpillPayload* scratch) {
   return &epoch_cache_.back().second;
 }
 
-VersionedKv::Lookup KeyEngine::LookupSpilled(Key key, Timestamp view) {
-  const bool inclusive = options_.mode == CheckMode::kSi;
+VersionedKv::Lookup KeyEngine::LookupSpilled(Key key, Timestamp view,
+                                             bool inclusive) {
   VersionedKv::Lookup best;
   bool degraded = false;
   for (uint64_t id : spill_epochs_) {
@@ -266,6 +316,24 @@ void KeyEngine::InstallVersionAndRecheck(const TxnCtx& ctx, Key key,
     report_(cts, {ViolationType::kTsDuplicate, ctx.tid, kTxnNone, key});
     return;
   }
+
+  // Membership readers (RC/RA): a new version joins the committed set
+  // of every live reader with view > cts — verdicts are monotone (a
+  // satisfied read can never become unsatisfied), and the range has no
+  // NextVersionAfter bound. This applies even to a writer shadowed
+  // below the watermark: its value still becomes a member for live
+  // readers above it.
+  auto mit = membership_reader_index_.find(key);
+  if (mit != membership_reader_index_.end()) {
+    WalkAffectedReaders(
+        mit->second, cts, std::nullopt, ctx.tid,
+        [&](const ReaderRef& ref, LocalTxn& reader) {
+          ExtReadState& er = reader.ext_reads[ref.read_idx];
+          UpdateTentativeVerdict(er, er.satisfied || er.observed == value,
+                                 ref.tid, now_ms, flip_stats_, stats_);
+        });
+  }
+
   if (shadowed_below_watermark) return;
 
   auto rit = reader_index_.find(key);
@@ -531,7 +599,13 @@ void KeyEngine::FinalizeTxn(TxnId tid) {
   for (const ExtReadState& er : rec.ext_reads) {
     flip_stats_->RecordPairDone(er.flips);
     if (!er.satisfied) {
-      VersionedKv::Lookup cur = LookupFrontier(er.key, rec.view_ts);
+      // Attribution: the frontier at the reader's view — the value the
+      // reader "should" have seen. For a membership reader (RC/RA) no
+      // single version is mandated; the latest committed one before the
+      // view is the representative witness.
+      VersionedKv::Lookup cur =
+          LookupFrontier(er.key, rec.view_ts,
+                         /*inclusive=*/rec.level == IsolationLevel::kSi);
       report_(rec.commit_ts, {ViolationType::kExt, tid, cur.tid, er.key,
                               cur.value, er.observed});
     }
@@ -563,6 +637,7 @@ void KeyEngine::CollectUpTo(Timestamp watermark) {
   // Reader refs are batch-compacted per key afterwards: erasing each ref
   // individually would make a pass over a hot key's chain quadratic.
   std::unordered_map<Key, std::vector<Timestamp>> dropped_views;
+  std::unordered_map<Key, std::vector<Timestamp>> dropped_member_views;
   std::unordered_map<Key, std::vector<Timestamp>> dropped_list_views;
   auto line_end = std::upper_bound(
       commit_index_.begin(), commit_index_.end(), watermark,
@@ -572,8 +647,11 @@ void KeyEngine::CollectUpTo(Timestamp watermark) {
       [&](const std::pair<Timestamp, TxnId>& p) {
         auto tit = local_txns_.find(p.second);
         if (tit == local_txns_.end() || !tit->second.finalized) return false;
+        auto* ext_dropped = MembershipLevel(tit->second.level)
+                                ? &dropped_member_views
+                                : &dropped_views;
         for (const ExtReadState& er : tit->second.ext_reads) {
-          dropped_views[er.key].push_back(tit->second.view_ts);
+          (*ext_dropped)[er.key].push_back(tit->second.view_ts);
         }
         for (const ListReadState& lr : tit->second.list_reads) {
           dropped_list_views[lr.key].push_back(tit->second.view_ts);
@@ -599,6 +677,7 @@ void KeyEngine::CollectUpTo(Timestamp watermark) {
     }
   };
   compact(&reader_index_, &dropped_views);
+  compact(&membership_reader_index_, &dropped_member_views);
   compact(&list_reader_index_, &dropped_list_views);
 
   watermark_ = std::max(watermark_, watermark);
@@ -633,6 +712,7 @@ void KeyEngine::Serialize(StateWriter* w) const {
     w->U64(rec.view_ts);
     w->U64(rec.commit_ts);
     w->U8(rec.finalized ? 1 : 0);
+    w->U8(static_cast<uint8_t>(rec.level));
     w->U64(rec.ext_reads.size());
     for (const ExtReadState& er : rec.ext_reads) {
       w->U64(er.key);
@@ -684,6 +764,7 @@ bool KeyEngine::Deserialize(StateReader* r) {
     rec.view_ts = r->U64();
     rec.commit_ts = r->U64();
     rec.finalized = r->U8() != 0;
+    rec.level = static_cast<IsolationLevel>(r->U8());
     uint64_t nr = r->U64();
     rec.ext_reads.reserve(nr);
     for (uint64_t j = 0; j < nr && r->ok(); ++j) {
@@ -724,10 +805,13 @@ bool KeyEngine::Deserialize(StateReader* r) {
   // rebuilding from local_txns_ and sorting by the unique view timestamps
   // reproduces the chains exactly.
   reader_index_.clear();
+  membership_reader_index_.clear();
   list_reader_index_.clear();
   for (const auto& [tid, rec] : local_txns_) {
+    auto* ext_index = MembershipLevel(rec.level) ? &membership_reader_index_
+                                                 : &reader_index_;
     for (uint32_t i = 0; i < rec.ext_reads.size(); ++i) {
-      reader_index_[rec.ext_reads[i].key].push_back(
+      (*ext_index)[rec.ext_reads[i].key].push_back(
           ReaderRef{rec.view_ts, tid, i});
     }
     for (uint32_t i = 0; i < rec.list_reads.size(); ++i) {
@@ -744,6 +828,7 @@ bool KeyEngine::Deserialize(StateReader* r) {
     }
   };
   sort_chains(&reader_index_);
+  sort_chains(&membership_reader_index_);
   sort_chains(&list_reader_index_);
   corrupt_epochs_.clear();
   return r->ok();

@@ -41,12 +41,17 @@ class KeyEngine {
     std::string spill_dir;  ///< empty disables spill persistence
   };
 
-  /// The transaction-scoped facts a per-key step needs.
+  /// The transaction-scoped facts a per-key step needs. `level` is the
+  /// effective isolation level the ingress resolved for the arrival
+  /// (never kUnspecified); it rides next to the footprint in the sharded
+  /// checker's ShardCmd, so per-level evaluation needs no new
+  /// synchronization.
   struct TxnCtx {
     TxnId tid = 0;
-    Timestamp view_ts = 0;  ///< start_ts (SI) or commit_ts (SER)
+    Timestamp view_ts = 0;  ///< start_ts (SI) or commit_ts (SER/RC/RA)
     Timestamp commit_ts = 0;
     Timestamp start_ts = 0;
+    IsolationLevel level = IsolationLevel::kSi;
   };
 
   /// One external read of the transaction being processed (op order).
@@ -182,6 +187,10 @@ class KeyEngine {
     std::vector<ExtReadState> ext_reads;
     std::vector<ListReadState> list_reads;
     bool finalized = false;
+    /// The reader's effective level: decides the frontier bound its
+    /// reads are (re-)evaluated against (SI inclusive snapshot, SER
+    /// exclusive commit view, RC/RA committed membership).
+    IsolationLevel level = IsolationLevel::kSi;
   };
 
   // One external-read registration: txn `tid` read `key` at `view_ts`,
@@ -197,10 +206,20 @@ class KeyEngine {
   using ReaderChain = std::vector<ReaderRef>;
 
   // Frontier lookup honoring the GC watermark: below it, consults the
-  // spill store (latest version of `key` at or before `view`).
-  VersionedKv::Lookup LookupFrontier(Key key, Timestamp view);
-  VersionedKv::Lookup LookupSpilled(Key key, Timestamp view);
+  // spill store. `inclusive` selects the reader-level bound: SI sees the
+  // latest version at or before `view`, SER/RC/RA strictly before.
+  VersionedKv::Lookup LookupFrontier(Key key, Timestamp view, bool inclusive);
+  VersionedKv::Lookup LookupSpilled(Key key, Timestamp view, bool inclusive);
   const SpillPayload* LoadEpoch(uint64_t id, SpillPayload* scratch);
+
+  /// The RC/RA committed-membership query: was `observed` ever a
+  /// committed value of `key` strictly before `view` (the initial value
+  /// always qualifies)? The window reaches all the way down to the
+  /// initial transaction, so once GC has run the in-memory chain alone
+  /// is incomplete: the spill store is merged in, or — without one — the
+  /// consult degrades to best effort (unsafe_below_watermark, the D7
+  /// accounting model).
+  bool EvaluateMembership(Key key, Timestamp view, Value observed);
 
   void InstallVersionAndRecheck(const TxnCtx& ctx, Key key, Value value,
                                 uint64_t now_ms);
@@ -211,8 +230,10 @@ class KeyEngine {
 
   /// The Step-3 walk shared by register and list re-checks: visits every
   /// live (unfinalized, non-writer) reader of `readers` whose view lies
-  /// in the affected range — [cts, upper] for SI, (cts, upper] for SER,
-  /// unbounded above when `upper` is nullopt (lists: appends compose).
+  /// in the affected range — [cts, upper] for an SI reader, (cts, upper]
+  /// for a SER reader (the bound is per *reader* level now that one
+  /// chain may mix them), unbounded above when `upper` is nullopt
+  /// (lists: appends compose; membership chains: versions compose).
   /// `fn(ref, reader)` re-evaluates one read.
   template <typename Fn>
   void WalkAffectedReaders(const ReaderChain& readers, Timestamp cts,
@@ -263,6 +284,12 @@ class KeyEngine {
   // LocalTxn::list_reads). Kept separate from the register chain: a
   // register write never affects a list read and vice versa.
   std::unordered_map<Key, ReaderChain> list_reader_index_;
+  // RC/RA register reads per key, separate from the frontier chain: a
+  // membership verdict has no NextVersionAfter upper bound (any newer
+  // version with the observed value satisfies it), so keeping these
+  // readers out of reader_index_ preserves the bounded frontier walk
+  // for SI/SER-only keys.
+  std::unordered_map<Key, ReaderChain> membership_reader_index_;
   Timestamp watermark_ = kTsMin;
 };
 

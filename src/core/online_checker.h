@@ -17,10 +17,43 @@
 
 namespace chronos {
 
-/// Which isolation level to check. SER ignores start timestamps, uses
-/// the commit timestamp as the read view, and skips NOCONFLICT
-/// (paper Sec. VI-A).
+/// The run-level default isolation level. SER ignores start timestamps,
+/// uses the commit timestamp as the read view, and skips NOCONFLICT
+/// (paper Sec. VI-A). Individual transactions may override the default
+/// via Transaction::iso (mixed-level histories); EffectiveLevel resolves
+/// the two.
 enum class CheckMode { kSi, kSer };
+
+/// The IsolationLevel a CheckMode defaults untagged transactions to.
+inline IsolationLevel DefaultLevel(CheckMode mode) {
+  return mode == CheckMode::kSer ? IsolationLevel::kSer
+                                 : IsolationLevel::kSi;
+}
+
+/// The level a transaction is actually checked under: its own tag, or
+/// the run-level default when untagged. Resolved exactly once per
+/// arrival (TxnIngress::AdmitTxn) and carried through the engines in
+/// KeyEngine::TxnCtx, so every downstream decision sees one value.
+inline IsolationLevel EffectiveLevel(const Transaction& t, CheckMode mode) {
+  return t.iso == IsolationLevel::kUnspecified ? DefaultLevel(mode) : t.iso;
+}
+
+/// Which timestamps the ingress registers for the cross-transaction
+/// uniqueness check under `level`: SER {commit}, SI {start, commit}
+/// (none for an Eq.(1)-invalid SI transaction, which is rejected
+/// earlier), RC/RA none — commit-order levels neither consume snapshot
+/// timestamps nor participate in the dup-gate. The explorer's
+/// commutativity rules and the offline mixed mirror share this table.
+inline bool RegistersTimestamps(IsolationLevel level) {
+  return level == IsolationLevel::kSer || level == IsolationLevel::kSi;
+}
+
+/// True for the commit-order membership levels (RC/RA): reads are
+/// satisfied by *any* committed version of the key before the reader's
+/// commit timestamp rather than by the frontier at a snapshot view.
+inline bool MembershipLevel(IsolationLevel level) {
+  return level == IsolationLevel::kRc || level == IsolationLevel::kRa;
+}
 
 /// Pipeline stage at which a stall hook fires (sharded checker only;
 /// the monolith has no pipeline). `stage_index` identifies the

@@ -80,12 +80,13 @@ TxnIngress::Admission TxnIngress::AdmitTxn(const Transaction& t,
   FireDeadlines(last_now_ms_);
   adm.now_ms = last_now_ms_;
 
-  const bool ser = options_.mode == CheckMode::kSer;
+  const IsolationLevel lv = EffectiveLevel(t, options_.mode);
 
-  // Eq. (1) well-formedness (Algorithm 3 lines 4-5). SER ignores start
+  // Eq. (1) well-formedness (Algorithm 3 lines 4-5) applies only to SI:
+  // every other level reads at its commit view and ignores start
   // timestamps entirely. INT does not depend on timestamps, so the
   // footprint still goes through the INT replay (kIntOnly).
-  if (!ser && !t.TimestampsOrdered()) {
+  if (lv == IsolationLevel::kSi && !t.TimestampsOrdered()) {
     report_(t.commit_ts, {ViolationType::kTsOrder, t.tid, kTxnNone, 0,
                           static_cast<Value>(t.start_ts),
                           static_cast<Value>(t.commit_ts)});
@@ -94,12 +95,17 @@ TxnIngress::Admission TxnIngress::AdmitTxn(const Transaction& t,
     return adm;
   }
 
-  // Duplicate timestamps across distinct transactions.
+  // Duplicate timestamps across distinct transactions. Per-level
+  // registration (see RegistersTimestamps): SER consumes {commit}, SI
+  // {start, commit}; the commit-order membership levels (RC/RA) consume
+  // nothing — they neither claim snapshot timestamps nor participate in
+  // the dup-gate (a same-commit-ts collision surfaces at the engine's
+  // version install as TS-DUP instead).
   bool dup = false;
-  if (ser) {
+  if (lv == IsolationLevel::kSer) {
     dup = !used_ts_.insert(t.commit_ts).second;
     if (!dup) used_ts_min_.push(t.commit_ts);
-  } else {
+  } else if (lv == IsolationLevel::kSi) {
     dup = used_ts_.count(t.start_ts) || used_ts_.count(t.commit_ts);
     if (!dup) {
       if (used_ts_.insert(t.start_ts).second) used_ts_min_.push(t.start_ts);
@@ -113,9 +119,10 @@ TxnIngress::Admission TxnIngress::AdmitTxn(const Transaction& t,
     return adm;
   }
 
-  CheckSession(t);
+  CheckSession(t, lv);
 
-  const Timestamp view_ts = ser ? t.commit_ts : t.start_ts;
+  const Timestamp view_ts =
+      lv == IsolationLevel::kSi ? t.start_ts : t.commit_ts;
 
   // A replayed tid keeps its original record and registrations: pushing
   // its view on the heap again would outlive the single finalize
@@ -140,7 +147,7 @@ TxnIngress::Admission TxnIngress::AdmitTxn(const Transaction& t,
   ++stats_->txns_processed;
   adm.kind = Admission::Kind::kDispatch;
   adm.register_reads = inserted;
-  adm.ctx = KeyEngine::TxnCtx{t.tid, view_ts, t.commit_ts, t.start_ts};
+  adm.ctx = KeyEngine::TxnCtx{t.tid, view_ts, t.commit_ts, t.start_ts, lv};
   return adm;
 }
 
@@ -164,16 +171,16 @@ void TxnIngress::OnTransaction(const Transaction& t, uint64_t now_ms) {
   }
 }
 
-void TxnIngress::CheckSession(const Transaction& t) {
+void TxnIngress::CheckSession(const Transaction& t, IsolationLevel lv) {
   SessionState& ss = sessions_[t.sid];
   AdvanceOverSkipped(&ss);
-  const bool ser = options_.mode == CheckMode::kSer;
   // SI: the next transaction of a session must start after the previous
-  // one committed (strong session). SER: its commit must come later in
-  // commit order.
-  Timestamp order_ts = ser ? t.commit_ts : t.start_ts;
-  bool bad_order = ser ? order_ts <= ss.last_cts && ss.last_sno >= 0
-                       : order_ts < ss.last_cts;
+  // one committed (strong session). Every commit-view level (SER, RC,
+  // RA): its commit must come later in commit order.
+  const bool si = lv == IsolationLevel::kSi;
+  Timestamp order_ts = si ? t.start_ts : t.commit_ts;
+  bool bad_order = si ? order_ts < ss.last_cts
+                      : order_ts <= ss.last_cts && ss.last_sno >= 0;
   if (static_cast<int64_t>(t.sno) != ss.last_sno + 1 || bad_order) {
     report_(t.commit_ts, {ViolationType::kSession, t.tid, kTxnNone, 0,
                           static_cast<Value>(ss.last_sno + 1),

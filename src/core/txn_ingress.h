@@ -122,12 +122,12 @@ class TxnIngress {
   /// Global (cross-key) record of a live transaction; the ext-read
   /// payload lives in the key engines.
   struct TxnRec {
-    Timestamp view_ts = 0;  // start_ts (SI) or commit_ts (SER)
+    Timestamp view_ts = 0;  // start_ts (SI) or commit_ts (SER/RC/RA)
     Timestamp commit_ts = 0;
     bool finalized = false;
   };
 
-  void CheckSession(const Transaction& t);
+  void CheckSession(const Transaction& t, IsolationLevel lv);
   void FireDeadlines(uint64_t now_ms);
   void FinalizeRec(TxnId tid);
   // Oldest view among unfinalized transactions (lazily drops finalized

@@ -33,6 +33,29 @@ inline constexpr Timestamp kTsMin = 0;
 /// Sentinel for "no transaction".
 inline constexpr TxnId kTxnNone = std::numeric_limits<TxnId>::max();
 
+/// Per-transaction isolation level. Histories may mix levels freely
+/// (mixed-levels checking, Bouajjani et al.); `kUnspecified` means "use
+/// the run-level default" (CheckerOptions::mode) and is what every
+/// pre-existing history deserializes to, so untagged inputs behave
+/// exactly as before. The per-level checking rules (which timestamps
+/// register for uniqueness, which frontier a read is evaluated against)
+/// are documented in ROADMAP.md "Mixed isolation levels".
+enum class IsolationLevel : uint8_t {
+  kUnspecified = 0,  ///< run-level default (CheckerOptions::mode)
+  kSer = 1,          ///< serializability: commit-order reads
+  kSi = 2,           ///< snapshot isolation: snapshot reads at start_ts
+  kRc = 3,           ///< read committed: per-operation committed recency
+  kRa = 4,           ///< read atomic: committed recency + atomic writers
+};
+
+/// Canonical lowercase spelling ("ser", "si", "rc", "ra"); kUnspecified
+/// renders as "default".
+const char* IsolationLevelName(IsolationLevel level);
+
+/// Inverse of IsolationLevelName for the four concrete levels. Returns
+/// false on any other spelling (callers report their own error).
+bool IsolationLevelFromName(const std::string& name, IsolationLevel* out);
+
 /// Kind of a key-value operation.
 enum class OpType : uint8_t {
   kRead,        ///< R(k, v): read v from register k.
@@ -62,6 +85,10 @@ struct Transaction {
   std::vector<Op> ops;         ///< operations in program order
   /// Observed list contents for kReadList ops (indexed by Op::list_index).
   std::vector<std::vector<Value>> list_args;
+  /// Isolation level this transaction ran under; kUnspecified defers to
+  /// the run-level default. Serialized as the optional `iso=` field of
+  /// the history codec.
+  IsolationLevel iso = IsolationLevel::kUnspecified;
 
   /// True iff Eq. (1) of the paper holds: start_ts <= commit_ts.
   bool TimestampsOrdered() const { return start_ts <= commit_ts; }
@@ -80,6 +107,12 @@ struct History {
     return n;
   }
 };
+
+/// True when any transaction carries an explicit isolation level (the
+/// signal that per-transaction dispatch, the mixed offline mirror, and
+/// the differ's level gating apply; untagged histories take the fast
+/// single-level paths unchanged).
+bool HistoryHasLevelTags(const History& h);
 
 /// Returns a short human-readable description of an operation.
 std::string ToString(const Op& op);

@@ -101,6 +101,21 @@ class VersionedKv {
     return vit->ts;
   }
 
+  /// True when some in-memory version of `key` with commit ts strictly
+  /// before `ts` carries `value` (the RC/RA committed-membership query).
+  /// O(versions before ts) — a linear prefix scan of the chain; below
+  /// the GC watermark the caller merges with the spill store.
+  bool HasValueBefore(Key key, Timestamp ts, Value value) const {
+    auto it = versions_.find(key);
+    if (it == versions_.end()) return false;
+    const Chain& chain = it->second;
+    auto end = LowerBound(chain, ts);
+    for (auto vit = chain.begin(); vit != end; ++vit) {
+      if (vit->value == value) return true;
+    }
+    return false;
+  }
+
   /// Number of live versions across all keys. O(1).
   size_t TotalVersions() const { return total_versions_; }
 

@@ -16,6 +16,33 @@ std::string ToString(const Op& op) {
   return os.str();
 }
 
+const char* IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kUnspecified: return "default";
+    case IsolationLevel::kSer: return "ser";
+    case IsolationLevel::kSi: return "si";
+    case IsolationLevel::kRc: return "rc";
+    case IsolationLevel::kRa: return "ra";
+  }
+  return "?";
+}
+
+bool IsolationLevelFromName(const std::string& name, IsolationLevel* out) {
+  if (name == "ser") *out = IsolationLevel::kSer;
+  else if (name == "si") *out = IsolationLevel::kSi;
+  else if (name == "rc") *out = IsolationLevel::kRc;
+  else if (name == "ra") *out = IsolationLevel::kRa;
+  else return false;
+  return true;
+}
+
+bool HistoryHasLevelTags(const History& h) {
+  for (const Transaction& t : h.txns) {
+    if (t.iso != IsolationLevel::kUnspecified) return true;
+  }
+  return false;
+}
+
 const char* ViolationTypeName(ViolationType t) {
   switch (t) {
     case ViolationType::kSession: return "SESSION";

@@ -368,7 +368,7 @@ ExploreResult ExploreHistory(const History& h, const ExploreOptions& opts) {
   Dependence dep(arrivals, position_sensitive);
   const fuzz::ScheduleInvariance inv = fuzz::ScheduleInvarianceFor(
       cfg.finite_timeout(), cfg.gc_active(),
-      fuzz::HistoryHasDuplicateTs(h, cfg.mode == CheckMode::kSer));
+      fuzz::HistoryHasDuplicateTs(h, cfg.mode));
 
   std::optional<ScheduleVerdict> ref;
   EnumerationCounts counts = EnumerateSchedules(

@@ -6,7 +6,6 @@
 namespace chronos::explore {
 
 std::vector<Arrival> CanonicalArrivals(const History& h, CheckMode mode) {
-  const bool ser = mode == CheckMode::kSer;
   std::vector<Arrival> out;
   out.reserve(h.txns.size());
   for (const Transaction& t : h.txns) {
@@ -15,11 +14,22 @@ std::vector<Arrival> CanonicalArrivals(const History& h, CheckMode mode) {
     for (const Op& op : t.ops) a.keys.push_back(op.key);
     std::sort(a.keys.begin(), a.keys.end());
     a.keys.erase(std::unique(a.keys.begin(), a.keys.end()), a.keys.end());
-    if (ser) {
-      a.reg_ts = {t.commit_ts};
-    } else if (t.TimestampsOrdered()) {
-      a.reg_ts = {t.start_ts, t.commit_ts};
-      if (t.start_ts == t.commit_ts) a.reg_ts.pop_back();
+    // Registration footprint follows the transaction's effective level:
+    // SER registers {commit}, Eq.(1)-valid SI registers {start, commit},
+    // and RC/RA register nothing at all — which makes mixed-level
+    // histories commute more widely under the DPOR dependence relation.
+    switch (EffectiveLevel(t, mode)) {
+      case IsolationLevel::kSer:
+        a.reg_ts = {t.commit_ts};
+        break;
+      case IsolationLevel::kSi:
+        if (t.TimestampsOrdered()) {
+          a.reg_ts = {t.start_ts, t.commit_ts};
+          if (t.start_ts == t.commit_ts) a.reg_ts.pop_back();
+        }
+        break;
+      default:  // kRc / kRa: membership levels, no timestamp registration
+        break;
     }
     out.push_back(std::move(a));
   }

@@ -15,7 +15,10 @@
 //   - disjoint key footprints (registers and lists share the key
 //     namespace here; every Step 2/3 decision is key-scoped),
 //   - disjoint registered timestamps (a shared timestamp makes the
-//     uniqueness check drop whichever twin arrives second — D6), and
+//     uniqueness check drop whichever twin arrives second — D6; the
+//     footprint follows each transaction's effective isolation level,
+//     so RC/RA arrivals — which register nothing — commute more widely
+//     than their SI/SER peers), and
 //   - neither crosses a watermark or finalize decision of the other:
 //     with a finite EXT timeout or an active GC cadence, an arrival's
 //     position on the virtual clock decides which deadlines fire and

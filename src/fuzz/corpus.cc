@@ -72,6 +72,13 @@ Corpus LoadCorpus(const std::string& dir) {
           return corpus;
         }
         entry.blackbox_detect = value == "detect";
+      } else if (key == "iso") {
+        if (value != "mixed") {
+          corpus.error = manifest_path + ":" + std::to_string(lineno) +
+                         ": iso must be mixed, got '" + value + "'";
+          return corpus;
+        }
+        entry.mixed = true;
       } else if (key == "mode") {
         if (value != "si" && value != "ser") {
           corpus.error = manifest_path + ":" + std::to_string(lineno) +
@@ -91,6 +98,13 @@ Corpus LoadCorpus(const std::string& dir) {
         hist::LoadHistory(dir + "/" + entry.file, &entry.history);
     if (!st.ok) {
       corpus.error = entry.file + ": " + st.message;
+      return corpus;
+    }
+    if (entry.mixed != HistoryHasLevelTags(entry.history)) {
+      corpus.error = entry.file + ": iso=mixed manifest tag " +
+                     (entry.mixed ? "set but the history has no"
+                                  : "missing but the history has") +
+                     " per-transaction isolation tags";
       return corpus;
     }
     corpus.entries.push_back(std::move(entry));

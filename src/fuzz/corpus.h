@@ -7,8 +7,12 @@
 //
 // manifest.txt format (one entry per line, '#' comments):
 //   <file> <tag> [CLASS=<count>]... [blackbox=accept|detect] [mode=si|ser]
+//   [iso=mixed]
 // where CLASS is one of SESSION INT EXT NOCONFLICT TSORDER TSDUP;
 // unlisted classes are expected to be zero and mode defaults to si.
+// iso=mixed marks a history with per-transaction isolation tags: its
+// counts pin the ChronosMixed reference, and no black-box verdict is
+// pinned (the single-level black-box checkers are gated out, entry D8).
 #ifndef CHRONOS_FUZZ_CORPUS_H_
 #define CHRONOS_FUZZ_CORPUS_H_
 
@@ -26,6 +30,7 @@ struct CorpusEntry {
   std::array<size_t, 6> expected{};  ///< Chronos counts per ViolationType
   bool blackbox_detect = false;      ///< expected ElleKV/ElleList verdict
   bool ser = false;                  ///< replay under the SER checker set
+  bool mixed = false;                ///< per-transaction iso tags (D8/D9)
   History history;
 
   size_t ExpectedTotal() const {

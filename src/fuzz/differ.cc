@@ -160,6 +160,43 @@ bool HistoryHasDuplicateTs(const History& h, bool ser) {
   return false;
 }
 
+bool HistoryHasDuplicateTs(const History& h, CheckMode mode) {
+  if (!HistoryHasLevelTags(h)) {
+    return HistoryHasDuplicateTs(h, mode == CheckMode::kSer);
+  }
+  std::unordered_map<Timestamp, TxnId> owner;  // registered timestamps
+  auto clashes = [&](Timestamp ts, TxnId tid) {
+    auto [it, fresh] = owner.emplace(ts, tid);
+    return !fresh && it->second != tid;
+  };
+  // Commit timestamps seen so far, with whether any holder so far was a
+  // membership-level (RC/RA) transaction.
+  struct CtsInfo {
+    TxnId tid;
+    bool member;
+  };
+  std::unordered_map<Timestamp, CtsInfo> committers;
+  for (const Transaction& t : h.txns) {
+    const IsolationLevel lv = EffectiveLevel(t, mode);
+    const bool member = MembershipLevel(lv);
+    auto [cit, fresh] =
+        committers.try_emplace(t.commit_ts, CtsInfo{t.tid, member});
+    if (!fresh && cit->second.tid != t.tid) {
+      if (member || cit->second.member) return true;  // D9
+    } else if (!fresh) {
+      cit->second.member = cit->second.member || member;
+    }
+    if (lv == IsolationLevel::kSer) {
+      if (clashes(t.commit_ts, t.tid)) return true;
+    } else if (lv == IsolationLevel::kSi && t.TimestampsOrdered()) {
+      if (clashes(t.start_ts, t.tid) || clashes(t.commit_ts, t.tid)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 FaultCounts FaultCounts::FromLog(const db::FaultLog& log) {
   FaultCounts c;
   c.lost_updates = log.lost_updates.load();
@@ -214,6 +251,12 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
   const bool list = sc.wl.list_mode || HasListOps(h);
   const bool ser =
       !list && sc.db.isolation == db::DbConfig::Isolation::kSer;
+  // Mixed-level histories (entry D8): per-transaction iso tags route the
+  // offline side to ChronosMixed and gate out every single-level checker
+  // (Chronos/ChronosSer, Emme, ElleKV, PolySI have no notion of
+  // per-transaction levels). The online matrix below is level-aware
+  // end-to-end and runs unchanged.
+  const bool mixed = !list && HistoryHasLevelTags(h);
 
   // Polled between checkers: once the caller's budget is spent, the
   // remaining (more expensive) checkers are skipped and the report is
@@ -239,6 +282,11 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
       er.detected = !elle.Accepted() || er.total > 0;
       report.checkers.push_back(std::move(er));
     }
+  } else if (mixed) {
+    CountingSink cs;
+    ChronosMixed::CheckHistory(h, ser ? CheckMode::kSer : CheckMode::kSi,
+                               &cs);
+    report.checkers.push_back(FromCountingSink("chronos-mixed", cs));
   } else if (ser) {
     CountingSink cs;
     ChronosSer::CheckHistory(h, &cs);
@@ -418,7 +466,8 @@ DiffReport DiffHistory(const History& h, const FuzzScenario& sc,
     report.disagreements.push_back(
         {rule, std::move(detail), std::move(checker)});
   };
-  const CheckerReport* ref = report.Find(list ? "chronos-list" : "chronos");
+  const CheckerReport* ref = report.Find(
+      list ? "chronos-list" : mixed ? "chronos-mixed" : "chronos");
 
   // Rule: clean histories are accepted by everything. Online checkers
   // are exempt in weak scenarios (entries D5/D7); HLC-skew runs never
@@ -589,6 +638,7 @@ DiffReport RunDiffer(const FuzzScenario& sc, const std::string& work_dir,
   db::Database database(sc.db);
   workload::RunDefaultWorkload(&database, sc.wl);
   History h = database.ExportHistory();
+  workload::AssignLevels(&h, sc.wl.mix, sc.wl.seed);
   FaultCounts injected = FaultCounts::FromLog(database.fault_log());
 
   const bool skewed = sc.db.timestamping == db::DbConfig::Timestamping::kHlc &&

@@ -39,7 +39,21 @@
 //       diverge on such histories.
 //   D7  GC without spill: stragglers below the watermark become
 //       unverifiable (unsafe_below_watermark), so online counts may
-//       drop or gain relative to offline. Same exemption as D5.
+//       drop or gain relative to offline. Same exemption as D5. RC/RA
+//       membership reads below the watermark degrade the same way (the
+//       membership window always reaches back to the beginning of time).
+//   D8  Mixed isolation levels (Transaction::iso tags): the single-level
+//       checkers — Chronos/ChronosSer, Emme, ElleKV, PolySI — have no
+//       notion of per-transaction levels, so they are gated out on mixed
+//       histories rather than compared. ChronosMixed is the white-box
+//       reference instead ("chronos-mixed"); the online matrix and all
+//       sharded/ckpt identity rules run unchanged.
+//   D9  RC/RA commit-timestamp collisions bypass the ingress dup-gate
+//       (those levels register no timestamps) and surface as per-key
+//       engine TS-DUP at version install instead. Which colliding writer
+//       is installed — and therefore the exact EXT verdicts downstream —
+//       depends on arrival order, so such histories are compared under
+//       the D6 boolean-TS-DUP regime.
 #ifndef CHRONOS_FUZZ_DIFFER_H_
 #define CHRONOS_FUZZ_DIFFER_H_
 
@@ -82,6 +96,19 @@ ScheduleInvariance ScheduleInvarianceFor(bool finite_ext_timeout,
 /// (Eq.(1)-invalid transactions never register theirs, and a single
 /// transaction's start==commit is not a duplicate).
 bool HistoryHasDuplicateTs(const History& h, bool ser);
+
+/// Level-aware variant: applies each transaction's *effective*
+/// registration rules under `mode` (SER registers {commit}, Eq.(1)-valid
+/// SI registers {start, commit}, RC/RA register nothing), and
+/// additionally reports true when two distinct transactions share a
+/// commit timestamp and at least one of them is RC/RA-effective — those
+/// bypass the ingress dup-gate and can still collide at version install
+/// (entry D9). Conservative on that axis: the install collision is only
+/// real when the pair writes a common key, but treating every such
+/// history under the D6 boolean regime merely weakens a comparison,
+/// never fabricates a disagreement. Untagged histories defer to the
+/// plain overload above.
+bool HistoryHasDuplicateTs(const History& h, CheckMode mode);
 
 /// Plain (non-atomic) copy of the fault-injection ground truth.
 struct FaultCounts {

@@ -124,6 +124,24 @@ FuzzScenario ScenarioFromSeed(uint64_t seed) {
   // Drawn from an independent hash of the seed (not the rng stream) so
   // enabling this knob did not reshuffle every existing seed's scenario.
   sc.ckpt_restore = ((seed * 0x2545F4914F6CDD1DULL) >> 62) == 0;  // ~25%
+
+  // Mixed isolation-level tags, also from an independent seed hash.
+  // Only SI-database register scenarios mix, and only over {si, rc, ra}:
+  // those tags keep a clean SI execution clean (an SI read is always a
+  // committed-membership read, and RC/RA waive Eq. (1)/NOCONFLICT), so
+  // the clean-accept rule stays meaningful. SER tags would false-fire on
+  // correct SI histories, and list workloads are SI-only end to end.
+  if (!sc.wl.list_mode &&
+      sc.db.isolation == db::DbConfig::Isolation::kSi) {
+    uint64_t mh = (seed + 0x9E3779B97F4A7C15ULL) * 0xD1B54A32D192ED03ULL;
+    if ((mh >> 62) == 0) {  // ~25% of eligible scenarios
+      switch ((mh >> 8) % 3) {
+        case 0: sc.wl.mix = {70, 0, 20, 10}; break;  // si-heavy
+        case 1: sc.wl.mix = {40, 0, 30, 20}; break;  // 10% untagged
+        default: sc.wl.mix = {0, 0, 50, 50}; break;  // membership-only
+      }
+    }
+  }
   return sc;
 }
 
@@ -161,6 +179,20 @@ std::string FuzzScenario::Describe() const {
   if (delay_mean_ms > 0) {
     s += " delay=" + std::to_string(delay_mean_ms) + "/" +
          std::to_string(delay_stddev_ms);
+  }
+  if (!wl.mix.empty()) {
+    s += " mix=";
+    bool first = true;
+    auto part = [&](const char* name, uint32_t pct) {
+      if (pct == 0) return;
+      if (!first) s += ",";
+      first = false;
+      s += std::string(name) + ":" + std::to_string(pct);
+    };
+    part("si", wl.mix.si);
+    part("ser", wl.mix.ser);
+    part("rc", wl.mix.rc);
+    part("ra", wl.mix.ra);
   }
   if (shuffle_seed != 0) s += " shuffled";
   if (ckpt_restore) s += " ckpt";

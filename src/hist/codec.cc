@@ -27,8 +27,12 @@ CodecStatus SaveHistory(const History& history, const std::string& path) {
   fprintf(f, "chronos-history v1 sessions=%u txns=%zu\n", history.num_sessions,
           history.txns.size());
   for (const Transaction& t : history.txns) {
-    fprintf(f, "T %" PRIu64 " %u %" PRIu64 " %" PRIu64 " %" PRIu64 " %zu\n",
+    fprintf(f, "T %" PRIu64 " %u %" PRIu64 " %" PRIu64 " %" PRIu64 " %zu",
             t.tid, t.sid, t.sno, t.start_ts, t.commit_ts, t.ops.size());
+    if (t.iso != IsolationLevel::kUnspecified) {
+      fprintf(f, " iso=%s", IsolationLevelName(t.iso));
+    }
+    fprintf(f, "\n");
     for (const Op& op : t.ops) {
       switch (op.type) {
         case OpType::kRead:
@@ -102,6 +106,24 @@ CodecStatus LoadHistory(const std::string& path, History* out) {
                &nops) != 6) {
       fclose(f);
       return CodecStatus::Error("malformed transaction header");
+    }
+    // Optional trailing `iso=<level>` on the same line; absent means
+    // run-level default (Transaction::iso stays kUnspecified).
+    char rest[64];
+    if (!fgets(rest, sizeof(rest), f)) {
+      fclose(f);
+      return CodecStatus::Error("truncated transaction header");
+    }
+    char* p = rest;
+    while (*p == ' ') ++p;
+    p[strcspn(p, "\r\n")] = '\0';
+    if (*p != '\0') {
+      if (strncmp(p, "iso=", 4) != 0 ||
+          !IsolationLevelFromName(p + 4, &t.iso)) {
+        fclose(f);
+        return CodecStatus::Error("bad transaction header suffix: " +
+                                  std::string(p));
+      }
     }
     t.ops.reserve(nops);
     for (size_t i = 0; i < nops; ++i) {

@@ -3,11 +3,16 @@
 // line-oriented so histories are diffable and easy to inspect:
 //
 //   chronos-history v1 sessions=<n> txns=<m>
-//   T <tid> <sid> <sno> <start_ts> <commit_ts> <nops>
+//   T <tid> <sid> <sno> <start_ts> <commit_ts> <nops> [iso=<level>]
 //   R <key> <value>        (one line per op, in program order)
 //   W <key> <value>
 //   A <key> <elem>
 //   L <key> <n> <e1> ... <en>
+//
+// The optional trailing `iso=<si|ser|rc|ra>` tags the transaction's own
+// isolation level (Transaction::iso); absent means run-level default, so
+// histories saved before mixed-level support load (and re-save)
+// byte-identically.
 #ifndef CHRONOS_HIST_CODEC_H_
 #define CHRONOS_HIST_CODEC_H_
 

@@ -49,6 +49,31 @@ struct OpenTxn {
 
 }  // namespace
 
+void AssignLevels(History* history, const LevelMix& mix, uint64_t seed) {
+  if (mix.empty()) return;
+  for (Transaction& t : history->txns) {
+    // splitmix64 finalizer over (seed, tid): order-independent and
+    // stable, so re-generating or re-tagging the same history with the
+    // same seed always yields the same levels.
+    uint64_t x = seed ^ (t.tid * 0x9E3779B97F4A7C15ULL);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    uint32_t roll = static_cast<uint32_t>(x % 100);
+    if (roll < mix.si) {
+      t.iso = IsolationLevel::kSi;
+    } else if (roll < mix.si + mix.ser) {
+      t.iso = IsolationLevel::kSer;
+    } else if (roll < mix.si + mix.ser + mix.rc) {
+      t.iso = IsolationLevel::kRc;
+    } else if (roll < mix.total()) {
+      t.iso = IsolationLevel::kRa;
+    } else {
+      t.iso = IsolationLevel::kUnspecified;
+    }
+  }
+}
+
 void RunDefaultWorkload(db::Database* db, const WorkloadParams& params) {
   std::mt19937_64 rng(params.seed);
   KeyPicker picker(params);
@@ -102,7 +127,9 @@ History GenerateDefaultHistory(const WorkloadParams& params,
                                const db::DbConfig& config) {
   db::Database db(config);
   RunDefaultWorkload(&db, params);
-  return db.ExportHistory();
+  History h = db.ExportHistory();
+  AssignLevels(&h, params.mix, params.seed);
+  return h;
 }
 
 double RunThreadedWorkload(db::Database* db, const WorkloadParams& params,

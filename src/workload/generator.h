@@ -12,6 +12,27 @@
 
 namespace chronos::workload {
 
+/// Percentage mix of per-transaction isolation-level tags
+/// (Transaction::iso). Fields are whole percentages; the remainder up
+/// to 100 stays untagged (run-level default). All-zero (the default)
+/// disables tagging entirely, so existing single-level workloads stay
+/// byte-identical per seed.
+struct LevelMix {
+  uint32_t si = 0;
+  uint32_t ser = 0;
+  uint32_t rc = 0;
+  uint32_t ra = 0;
+
+  bool empty() const { return si + ser + rc + ra == 0; }
+  uint32_t total() const { return si + ser + rc + ra; }
+};
+
+/// Deterministically tags `history`'s transactions according to `mix`:
+/// each transaction's level is decided by a splitmix64 hash of
+/// (seed, tid), so the assignment is stable across runs, independent of
+/// transaction order, and reproducible from the seed alone.
+void AssignLevels(History* history, const LevelMix& mix, uint64_t seed);
+
 /// Table I parameters with the paper's defaults.
 struct WorkloadParams {
   uint32_t sessions = 50;        ///< #sess
@@ -26,6 +47,9 @@ struct WorkloadParams {
 
   bool list_mode = false;        ///< list histories (appends + list reads)
   uint64_t seed = 1;
+  /// Per-transaction isolation-level tag mix, applied to the exported
+  /// history by GenerateDefaultHistory (empty: no tags).
+  LevelMix mix;
 };
 
 /// Runs the workload to completion against `db` (deterministic

@@ -50,7 +50,8 @@ TEST(CorpusTest, EveryDivergenceTableEntryIsExercised) {
   Corpus corpus = LoadOrDie();
   std::set<std::string> tags;
   for (const CorpusEntry& e : corpus.entries) tags.insert(e.tag);
-  for (const char* required : {"D1", "D2", "D3", "D4", "D5", "D6", "D7"}) {
+  for (const char* required :
+       {"D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9"}) {
     EXPECT_TRUE(tags.count(required))
         << "no corpus history exercises divergence entry " << required;
   }
@@ -69,12 +70,20 @@ TEST(CorpusTest, DifferCleanAndChronosCountsPinned) {
         << entry.file << ":\n" << report.Summary();
     const CheckerReport* ref = report.Find("chronos");
     if (!ref) ref = report.Find("chronos-list");
+    if (!ref) ref = report.Find("chronos-mixed");
     ASSERT_NE(ref, nullptr) << entry.file;
     EXPECT_EQ(ref->counts, entry.expected)
         << entry.file << ": chronos verdict drifted\n" << report.Summary();
 
     const CheckerReport* blackbox = report.Find("ellekv");
     if (!blackbox) blackbox = report.Find("elle-list");
+    if (entry.mixed) {
+      // D8: single-level checkers are gated out on mixed histories —
+      // there must be no black-box report to pin.
+      EXPECT_EQ(ref->name, "chronos-mixed") << entry.file;
+      EXPECT_EQ(blackbox, nullptr) << entry.file;
+      continue;
+    }
     ASSERT_NE(blackbox, nullptr) << entry.file;
     EXPECT_EQ(blackbox->detected, entry.blackbox_detect)
         << entry.file << ": black-box verdict drifted\n" << report.Summary();
@@ -256,6 +265,93 @@ TEST(CorpusTest, TsDupEntryDemonstratesD6) {
   EXPECT_EQ(aion_sink.count(ViolationType::kTsDuplicate), 1u);
   EXPECT_EQ(aion_sink.count(ViolationType::kNoConflict), 0u)
       << "AION deliberately skips replaying duplicate-ts transactions";
+}
+
+// D8 (session): the RC session rule fires where the all-SI reading of
+// the byte-identical history would instead hit the ingress dup-gate —
+// the SESSION anomaly exists only because of the level tags.
+TEST(CorpusTest, MixedRcSessionEntryDemonstratesD8) {
+  Corpus corpus = LoadOrDie();
+  const CorpusEntry& entry = EntryOrDie(corpus, "mixed_rc_session.repro");
+  ASSERT_TRUE(entry.mixed);
+
+  CountingSink mixed;
+  ChronosMixed::CheckHistory(entry.history, CheckMode::kSi, &mixed);
+  EXPECT_EQ(mixed.count(ViolationType::kSession), 1u);
+  EXPECT_EQ(mixed.total(), 1u);
+
+  // Strip the tags: under all-SI rules the start==commit successor
+  // collides with its predecessor's registered commit timestamp and is
+  // dropped at the uniqueness gate before the session check runs.
+  History untagged = entry.history;
+  for (Transaction& t : untagged.txns) t.iso = IsolationLevel::kUnspecified;
+  CountingSink si;
+  Chronos::CheckHistory(untagged, &si);
+  EXPECT_EQ(si.count(ViolationType::kSession), 0u);
+  EXPECT_GT(si.count(ViolationType::kTsDuplicate), 0u);
+}
+
+// D8 (waiver): RC's committed-membership read rule accepts an observed
+// value that SI's snapshot-frontier rule flags as EXT.
+TEST(CorpusTest, MixedRcWaivesExtEntryDemonstratesD8) {
+  Corpus corpus = LoadOrDie();
+  const CorpusEntry& entry = EntryOrDie(corpus, "mixed_rc_waives_ext.repro");
+  ASSERT_TRUE(entry.mixed);
+
+  CountingSink mixed;
+  ChronosMixed::CheckHistory(entry.history, CheckMode::kSi, &mixed);
+  EXPECT_EQ(mixed.total(), 0u) << "RC membership must accept the "
+                                  "superseded-but-committed value";
+
+  History untagged = entry.history;
+  for (Transaction& t : untagged.txns) t.iso = IsolationLevel::kUnspecified;
+  CountingSink si;
+  Chronos::CheckHistory(untagged, &si);
+  EXPECT_EQ(si.count(ViolationType::kExt), 1u)
+      << "the same read under SI snapshot rules must be an EXT anomaly";
+}
+
+// D9: an RC writer sharing commit timestamp and key with an SI writer
+// bypasses the ingress dup-gate; the duplicate surfaces as a per-key
+// TS-DUP at version install, in both the online checker and the
+// ChronosMixed mirror.
+TEST(CorpusTest, MixedRcDupEntryDemonstratesD9) {
+  Corpus corpus = LoadOrDie();
+  const CorpusEntry& entry = EntryOrDie(corpus, "mixed_rc_dup.repro");
+  ASSERT_TRUE(entry.mixed);
+
+  CountingSink mixed;
+  ChronosMixed::CheckHistory(entry.history, CheckMode::kSi, &mixed);
+  EXPECT_EQ(mixed.count(ViolationType::kTsDuplicate), 1u);
+
+  CountingSink aion_sink;
+  Aion::Options opt;
+  Aion aion(opt, &aion_sink);
+  uint64_t now = 0;
+  for (const Transaction& t : entry.history.txns) {
+    aion.OnTransaction(t, now++);
+  }
+  aion.Finish();
+  EXPECT_EQ(aion_sink.count(ViolationType::kTsDuplicate), 1u)
+      << "the install-time collision must be reported even though the RC "
+         "writer never registered its timestamps";
+
+  // The level-aware duplicate predicate classifies this history under
+  // the D6 boolean regime via its membership-commit-collision rule.
+  EXPECT_TRUE(HistoryHasDuplicateTs(entry.history, CheckMode::kSi));
+
+  // And it must NOT fire on a registered-looking clash that an RC tag
+  // dissolves: an RC start timestamp equal to an SI commit timestamp is
+  // no duplicate at all (RC registers nothing), where the level-blind
+  // predicate would waive comparisons spuriously.
+  History no_dup = entry.history;
+  no_dup.txns[1].start_ts = 3;   // collides with txn 1's registered commit
+  no_dup.txns[1].commit_ts = 5;  // ...but the commit no longer does
+  no_dup.txns[1].ops[0].key = 2;
+  EXPECT_TRUE(HistoryHasDuplicateTs(no_dup, /*ser=*/false))
+      << "level-blind predicate treats the RC start as registered";
+  EXPECT_FALSE(HistoryHasDuplicateTs(no_dup, CheckMode::kSi))
+      << "RC registers no timestamps, so nothing is duplicated";
 }
 
 }  // namespace

@@ -27,6 +27,11 @@ class HistoryBuilder {
     if (sid + 1 > h_.num_sessions) h_.num_sessions = sid + 1;
     return *this;
   }
+  /// Tags the current transaction with a per-transaction isolation level.
+  HistoryBuilder& Iso(IsolationLevel level) {
+    h_.txns.back().iso = level;
+    return *this;
+  }
   HistoryBuilder& R(Key k, Value v) {
     h_.txns.back().ops.push_back({OpType::kRead, k, v, 0});
     return *this;

@@ -83,7 +83,12 @@ void PrintUsage(FILE* out) {
       "usage: chronos_check --in=FILE [options]\n"
       "\n"
       "  --in=FILE             history file (hist/codec.h text format)\n"
-      "  --level=si|ser|list   isolation level to check (default si)\n"
+      "  --level=si|ser|list   run-level default isolation (default si);\n"
+      "                        rc/ra are per-transaction only (iso= tags\n"
+      "                        in the history). A history with iso= tags\n"
+      "                        dispatches offline to the mixed-level\n"
+      "                        checker; untagged transactions follow\n"
+      "                        --level\n"
       "  --max-report=N        violations to print (default 20)\n"
       "  --gc-every=N          offline: GC every N txns; online durable:\n"
       "                        GcToLiveTarget cadence in arrivals (0: off)\n"
@@ -126,6 +131,14 @@ int main(int argc, char** argv) {
   }
   std::string level =
       FlagValue(argc, argv, "--level") ? FlagValue(argc, argv, "--level") : "si";
+  CheckMode mode = CheckMode::kSi;
+  if (level != "list") {
+    std::string err;
+    if (!ParseRunLevel(level.c_str(), &mode, &err)) {
+      std::fprintf(stderr, "--level=%s: %s\n", level.c_str(), err.c_str());
+      return 2;
+    }
+  }
   size_t max_report = U64Flag(argc, argv, "--max-report", 20);
 
   Stopwatch load_sw;
@@ -147,7 +160,7 @@ int main(int argc, char** argv) {
         U64Flag(argc, argv, "--delay-stddev", 0));
     auto stream = hist::ScheduleDelivery(h, cp);
     Aion::Options opt;
-    opt.mode = level == "ser" ? Aion::Mode::kSer : Aion::Mode::kSi;  // list=si
+    opt.mode = mode;  // list=si; iso= tags override per transaction
     opt.ext_timeout_ms = U64Flag(argc, argv, "--timeout-ms", 5000);
     if (const char* spill = FlagValue(argc, argv, "--spill")) {
       opt.spill_dir = spill;
@@ -251,7 +264,14 @@ int main(int argc, char** argv) {
     opt.gc_every_n_txns = U64Flag(argc, argv, "--gc-every", 0);
     Stopwatch sw;
     CheckStats stats;
-    if (level == "ser") {
+    if (level != "list" && HistoryHasLevelTags(h)) {
+      // Per-transaction iso= tags: the single-level replayers would
+      // misjudge the weaker-level transactions, so route to the mixed
+      // checker with --level as the default for untagged ones.
+      ChronosMixed checker(mode, &sink);
+      stats = checker.Check(std::move(h));
+      level = "mixed(default=" + level + ")";
+    } else if (level == "ser") {
       ChronosSer checker(&sink);
       stats = checker.Check(std::move(h));
     } else if (level == "list") {

@@ -1,8 +1,9 @@
 // chronos_fuzz: differential fuzzing harness (see src/fuzz/).
 //
 //   chronos_fuzz [--seeds=200] [--seed-start=0] [--time-budget=0]
-//                [--list-only] [--ckpt] [--out-dir=DIR] [--verbose]
-//   chronos_fuzz --repro=FILE [--ser]
+//                [--list-only] [--mix-only] [--ckpt] [--out-dir=DIR]
+//                [--verbose]
+//   chronos_fuzz --repro=FILE [--ser | --mode=si|ser]
 //   chronos_fuzz --corpus=DIR
 //
 // Default mode runs seed-derived chaos scenarios (workload x faults x
@@ -19,7 +20,9 @@
 //
 // --list-only keeps the seed->scenario map intact but runs only the
 // seeds whose scenario is a list workload — the CI list smoke walks a
-// bigger seed block at the same cost.
+// bigger seed block at the same cost. --mix-only does the same for the
+// seeds whose scenario tags a mixed isolation-level workload (entry D8:
+// ChronosMixed as the offline reference, level-aware online matrix).
 //
 // --ckpt forces the mid-stream checkpoint/restore checker (scenario knob
 // ckpt_restore, rule "ckpt-restore-identity") on for every seed instead
@@ -110,11 +113,16 @@ int RunCorpus(const std::string& dir, const std::string& work_dir) {
         entry.history, ReplayScenario(entry.ser), expect, work_dir);
     const fuzz::CheckerReport* ref = report.Find("chronos");
     if (!ref) ref = report.Find("chronos-list");
+    if (!ref) ref = report.Find("chronos-mixed");
     bool counts_ok = ref && ref->counts == entry.expected;
+    // Mixed-level entries gate out every black-box checker (entry D8),
+    // so there is no black-box verdict to pin for them.
     const fuzz::CheckerReport* blackbox = report.Find("ellekv");
     if (!blackbox) blackbox = report.Find("elle-list");
-    bool blackbox_ok =
-        blackbox && blackbox->detected == entry.blackbox_detect;
+    bool blackbox_ok = entry.mixed
+                           ? blackbox == nullptr
+                           : blackbox && blackbox->detected ==
+                                             entry.blackbox_detect;
     if (!report.Clean() || !counts_ok || !blackbox_ok) {
       ++failures;
       std::printf("corpus FAIL %s (%s):\n%s", entry.file.c_str(),
@@ -147,7 +155,17 @@ int main(int argc, char** argv) {
   const std::string work_dir = out_dir + "/work";
 
   if (const char* repro = FlagValue(argc, argv, "--repro")) {
-    return RunRepro(repro, HasFlag(argc, argv, "--ser"), work_dir);
+    bool ser = HasFlag(argc, argv, "--ser");
+    if (const char* m = FlagValue(argc, argv, "--mode")) {
+      CheckMode mode;
+      std::string err;
+      if (!tools::ParseRunLevel(m, &mode, &err)) {
+        std::fprintf(stderr, "--mode=%s: %s\n", m, err.c_str());
+        return 2;
+      }
+      ser = mode == CheckMode::kSer;
+    }
+    return RunRepro(repro, ser, work_dir);
   }
   if (const char* corpus = FlagValue(argc, argv, "--corpus")) {
     return RunCorpus(corpus, work_dir);
@@ -158,6 +176,7 @@ int main(int argc, char** argv) {
   const uint64_t budget_s = U64Flag(argc, argv, "--time-budget", 0);
   const bool verbose = HasFlag(argc, argv, "--verbose");
   const bool list_only = HasFlag(argc, argv, "--list-only");
+  const bool mix_only = HasFlag(argc, argv, "--mix-only");
   const bool force_ckpt = HasFlag(argc, argv, "--ckpt");
 
   Stopwatch sw;
@@ -173,6 +192,7 @@ int main(int argc, char** argv) {
     if (budget_s > 0 && sw.Seconds() > static_cast<double>(budget_s)) break;
     fuzz::FuzzScenario sc = fuzz::ScenarioFromSeed(seed);
     if (list_only && !sc.wl.list_mode) continue;
+    if (mix_only && sc.wl.mix.empty()) continue;
     if (force_ckpt) sc.ckpt_restore = true;
     History h;
     fuzz::DiffReport report =

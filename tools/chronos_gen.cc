@@ -4,6 +4,7 @@
 //   chronos_gen --out=h.hist --workload=default --txns=100000
 //               [--sessions=50] [--ops=15] [--keys=1000] [--reads=0.5]
 //               [--dist=zipf|uniform|hotspot] [--list] [--ser]
+//               [--mix=si:70,ser:10,rc:10,ra:10]
 //               [--seed=1] [--fault=lost_update|stale_read|value|ts_swap|
 //                           early_commit|late_start|session_reorder]
 //               [--fault-prob=0.05] [--fault-seed=42]
@@ -14,7 +15,10 @@
 // Every history is reproducible from its command line: --seed drives the
 // workload's operation stream (each workload has its own default),
 // --fault-seed the injection coin flips, and the database's written
-// values are derived from a run-local counter.
+// values are derived from a run-local counter. --mix tags the given
+// percentage of transactions with per-transaction isolation levels
+// (Transaction::iso, saved as iso= in the history file); the assignment
+// hashes (seed, tid), so it is seed-deterministic too.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -71,7 +75,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  workload::LevelMix mix;
+  if (const char* m = FlagValue(argc, argv, "--mix")) {
+    std::string err;
+    if (!ParseLevelMixSpec(m, &mix.si, &mix.ser, &mix.rc, &mix.ra, &err)) {
+      std::fprintf(stderr, "--mix=%s: %s\n", m, err.c_str());
+      return 2;
+    }
+  }
+
   History h;
+  uint64_t mix_seed = 1;
   if (workload == "default") {
     workload::WorkloadParams p;
     p.txns = txns;
@@ -80,6 +94,7 @@ int main(int argc, char** argv) {
     p.keys = U64Flag(argc, argv, "--keys", 1000);
     p.read_ratio = DoubleFlag(argc, argv, "--reads", 0.5);
     p.seed = U64Flag(argc, argv, "--seed", 1);
+    mix_seed = p.seed;
     p.list_mode = HasFlag(argc, argv, "--list");
     if (const char* d = FlagValue(argc, argv, "--dist")) {
       if (!strcmp(d, "uniform")) {
@@ -95,21 +110,25 @@ int main(int argc, char** argv) {
     workload::TwitterParams p;
     p.txns = txns;
     p.seed = U64Flag(argc, argv, "--seed", p.seed);
+    mix_seed = p.seed;
     h = workload::GenerateTwitterHistory(p, cfg);
   } else if (workload == "rubis") {
     workload::RubisParams p;
     p.txns = txns;
     p.seed = U64Flag(argc, argv, "--seed", p.seed);
+    mix_seed = p.seed;
     h = workload::GenerateRubisHistory(p, cfg);
   } else if (workload == "tpcc") {
     workload::TpccParams p;
     p.txns = txns;
     p.seed = U64Flag(argc, argv, "--seed", p.seed);
+    mix_seed = p.seed;
     h = workload::GenerateTpccHistory(p, cfg);
   } else {
     std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());
     return 2;
   }
+  workload::AssignLevels(&h, mix, mix_seed);
 
   hist::CodecStatus st = hist::SaveHistory(h, out);
   if (!st.ok) {

@@ -50,6 +50,13 @@ run_tsan() {
                               --out-dir="$tsan_dir/explore-out"
   "$tsan_dir/chronos_explore" --repro=tests/corpus/list_stale_read.repro \
                               --out-dir="$tsan_dir/explore-out"
+  # Mixed-isolation entries: per-transaction RC tags ride through the
+  # sharded pipeline under TSan, and the RC no-registration footprint
+  # exercises the wider DPOR commutativity (PR 9).
+  "$tsan_dir/chronos_explore" --repro=tests/corpus/mixed_rc_session.repro \
+                              --out-dir="$tsan_dir/explore-out"
+  "$tsan_dir/chronos_explore" --repro=tests/corpus/mixed_rc_dup.repro \
+                              --out-dir="$tsan_dir/explore-out"
   "$tsan_dir/chronos_explore" --sweep-seeds=10 \
                               --out-dir="$tsan_dir/explore-out"
 }
@@ -85,6 +92,13 @@ fi
 if [[ -x "$BUILD_DIR/chronos_fuzz" ]]; then
   "$BUILD_DIR/chronos_fuzz" --seeds=200 --out-dir="$BUILD_DIR/fuzz-smoke"
   "$BUILD_DIR/chronos_fuzz" --seeds=600 --seed-start=1000 --list-only \
+                            --out-dir="$BUILD_DIR/fuzz-smoke"
+  # Mixed-isolation pass (fixed seed block, deterministic): only the
+  # scenarios whose workload carries a per-transaction si/rc/ra level
+  # mix (~25%), so this walks ~100 mixed histories through the online
+  # matrix plus the ChronosMixed offline reference (divergence entries
+  # D8/D9) at similar cost.
+  "$BUILD_DIR/chronos_fuzz" --seeds=400 --seed-start=2000 --mix-only \
                             --out-dir="$BUILD_DIR/fuzz-smoke"
   "$BUILD_DIR/chronos_fuzz" --corpus=tests/corpus \
                             --out-dir="$BUILD_DIR/fuzz-smoke"

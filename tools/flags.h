@@ -1,11 +1,15 @@
 // Minimal --flag=value parsing shared by the CLI tools (chronos_gen,
-// chronos_check, chronos_fuzz).
+// chronos_check, chronos_fuzz, chronos_explore), plus the unified
+// isolation-level spelling (si|ser|rc|ra) they all accept.
 #ifndef CHRONOS_TOOLS_FLAGS_H_
 #define CHRONOS_TOOLS_FLAGS_H_
 
 #include <cstdlib>
 #include <cstring>
 #include <cstdint>
+#include <string>
+
+#include "core/online_checker.h"
 
 namespace chronos::tools {
 
@@ -36,6 +40,88 @@ inline double DoubleFlag(int argc, char** argv, const char* name,
                          double def) {
   const char* v = FlagValue(argc, argv, name);
   return v ? atof(v) : def;
+}
+
+/// Unified run-level isolation parsing for every CLI tool. Only si and
+/// ser are valid run-level defaults; rc and ra exist solely as
+/// per-transaction tags (Transaction::iso), so naming them here gets a
+/// specific explanation rather than "unknown level".
+inline bool ParseRunLevel(const char* v, CheckMode* mode, std::string* err) {
+  if (strcmp(v, "si") == 0) {
+    *mode = CheckMode::kSi;
+    return true;
+  }
+  if (strcmp(v, "ser") == 0) {
+    *mode = CheckMode::kSer;
+    return true;
+  }
+  if (strcmp(v, "rc") == 0 || strcmp(v, "ra") == 0) {
+    *err = std::string(v) +
+           " is a per-transaction isolation level: tag individual "
+           "transactions (iso=" + v +
+           " in the history file, or --mix=" + v +
+           ":<pct> in chronos_gen); the run-level default must be si or "
+           "ser";
+    return false;
+  }
+  *err = "unknown isolation level '" + std::string(v) +
+         "' (expected si, ser, rc, or ra)";
+  return false;
+}
+
+/// Parses a --mix=si:70,ser:10,rc:10,ra:10 spec (any subset of levels,
+/// any order; percentages must sum to at most 100 — the remainder stays
+/// untagged and follows the run-level default). Out-params instead of a
+/// workload::LevelMix so this header stays free of the workload layer.
+inline bool ParseLevelMixSpec(const char* v, uint32_t* si, uint32_t* ser,
+                              uint32_t* rc, uint32_t* ra, std::string* err) {
+  *si = *ser = *rc = *ra = 0;
+  const std::string spec(v);
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const size_t colon = part.find(':');
+    if (part.empty() || colon == std::string::npos) {
+      *err = "bad --mix component '" + part +
+             "' (expected <level>:<percent>, e.g. si:70,rc:30)";
+      return false;
+    }
+    const std::string name = part.substr(0, colon);
+    uint32_t* slot = name == "si"    ? si
+                     : name == "ser" ? ser
+                     : name == "rc"  ? rc
+                     : name == "ra"  ? ra
+                                     : nullptr;
+    if (!slot) {
+      *err = "unknown isolation level '" + name +
+             "' in --mix (expected si, ser, rc, or ra)";
+      return false;
+    }
+    if (*slot != 0) {
+      *err = "duplicate level '" + name + "' in --mix";
+      return false;
+    }
+    char* end = nullptr;
+    const char* digits = part.c_str() + colon + 1;
+    unsigned long pct = strtoul(digits, &end, 10);
+    if (end == digits || *end != '\0' || pct == 0 || pct > 100) {
+      *err = "bad percentage in --mix component '" + part +
+             "' (expected an integer in [1, 100])";
+      return false;
+    }
+    *slot = static_cast<uint32_t>(pct);
+    if (comma == spec.size()) break;
+    pos = comma + 1;
+  }
+  if (*si + *ser + *rc + *ra > 100) {
+    *err = "--mix percentages sum to " +
+           std::to_string(*si + *ser + *rc + *ra) +
+           " (must be at most 100; the remainder stays untagged)";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace chronos::tools
