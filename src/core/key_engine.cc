@@ -784,7 +784,10 @@ bool KeyEngine::Deserialize(StateReader* r) {
       std::string raw = r->Bytes();
       if (!r->ok() || raw.size() % sizeof(Value) != 0) return false;
       lr.observed.resize(raw.size() / sizeof(Value));
-      std::memcpy(lr.observed.data(), raw.data(), raw.size());
+      // Empty reads leave data() null; memcpy's args are declared nonnull.
+      if (!raw.empty()) {
+        std::memcpy(lr.observed.data(), raw.data(), raw.size());
+      }
       lr.satisfied = r->U8() != 0;
       lr.flips = static_cast<uint32_t>(r->U64());
       lr.last_change_ms = r->U64();

@@ -395,7 +395,8 @@ class ListKv {
     std::string raw = r->Bytes();
     if (!r->ok() || raw.size() % sizeof(Value) != 0) return false;
     out->resize(raw.size() / sizeof(Value));
-    std::memcpy(out->data(), raw.data(), raw.size());
+    // Empty vectors leave data() null; memcpy's args are declared nonnull.
+    if (!raw.empty()) std::memcpy(out->data(), raw.data(), raw.size());
     return true;
   }
 

@@ -385,7 +385,7 @@ bool TxnIngress::Deserialize(StateReader* r) {
   sessions_.clear();
   uint64_t ns = r->U64();
   for (uint64_t i = 0; i < ns && r->ok(); ++i) {
-    SessionId sid = r->U64();
+    SessionId sid = static_cast<SessionId>(r->U64());
     SessionState& ss = sessions_[sid];
     ss.last_sno = r->I64();
     ss.last_cts = r->U64();

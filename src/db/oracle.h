@@ -50,7 +50,7 @@ class HlcOracle : public TimestampOracle {
 
   Timestamp Next(uint32_t node) override {
     std::lock_guard<std::mutex> lock(mu_);
-    node %= last_.size();
+    node %= static_cast<uint32_t>(last_.size());
     uint64_t physical = static_cast<uint64_t>(
         static_cast<int64_t>(ticks_.fetch_add(1) + 1000000) + skews_[node]);
     // Layout: [physical | 8-bit logical | 8-bit node]; the logical part

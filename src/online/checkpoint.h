@@ -47,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "core/types.h"
 #include "online/sharded_aion.h"
 
@@ -154,20 +155,31 @@ class DurableRunner {
                 uint64_t start_seq = 1, uint64_t start_events = 0,
                 uint64_t wal_truncate_to = 0);
 
+  /// Capability of the single driver thread. The runner is not
+  /// thread-safe by design (the WAL sequence numbers and the checker's
+  /// coordinator API both assume one caller); a driver assumes this role
+  /// once and makes every Feed/Checkpoint/Finish call under it.
+  ThreadRole driver_role;
+
   /// Feeds one arrival, runs the GC cadence and the ceiling check, logs
   /// the whole step as one atomic WAL record, then runs the checkpoint
   /// cadence. Returns false on an I/O failure.
-  bool Feed(const Transaction& t, uint64_t now_ms);
+  bool Feed(const Transaction& t, uint64_t now_ms)
+      CHRONOS_REQUIRES(driver_role);
 
   /// Cuts a checkpoint now (also used by tests to force boundaries).
-  bool Checkpoint();
+  bool Checkpoint() CHRONOS_REQUIRES(driver_role);
 
   /// Finalizes the checker (end of stream; not WAL-logged).
-  void Finish() { checker_->Finish(); }
+  void Finish() CHRONOS_REQUIRES(driver_role) { checker_->Finish(); }
 
   bool ok() const { return ok_; }
-  uint64_t events() const { return events_; }
-  uint64_t next_seq() const { return next_seq_; }
+  uint64_t events() const CHRONOS_REQUIRES_SHARED(driver_role) {
+    return events_;
+  }
+  uint64_t next_seq() const CHRONOS_REQUIRES_SHARED(driver_role) {
+    return next_seq_;
+  }
   uint64_t checkpoints_written() const { return checkpoints_; }
   uint64_t sheds() const { return sheds_; }
 
@@ -176,8 +188,8 @@ class DurableRunner {
   Options opts_;
   CheckpointManager ckpts_;
   WalWriter wal_;
-  uint64_t next_seq_ = 1;
-  uint64_t events_ = 0;
+  uint64_t next_seq_ CHRONOS_GUARDED_BY(driver_role) = 1;
+  uint64_t events_ CHRONOS_GUARDED_BY(driver_role) = 0;
   uint64_t checkpoints_ = 0;
   uint64_t sheds_ = 0;
   bool ok_ = true;

@@ -3,16 +3,22 @@
 // Batch variants (`PushBatch`/`PopBatch`) amortize the lock to one
 // acquisition per batch, matching the collector's batched dispatch
 // (500 transactions per batch in the paper).
+//
+// All queue state is guarded by `mu_` and annotated for Clang's
+// thread-safety analysis (core/thread_annotations.h): adding an access
+// to `items_`/`closed_` outside the lock fails the -Wthread-safety
+// build. Wait loops are explicit while-loops rather than predicate
+// lambdas so the analysis can see the lock across the predicate reads.
 #ifndef CHRONOS_ONLINE_QUEUE_H_
 #define CHRONOS_ONLINE_QUEUE_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace chronos::online {
 
@@ -27,24 +33,24 @@ class BoundedQueue {
 
   /// Blocks while full. Returns false if the queue was closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while empty. Returns nullopt when closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    // notify_all: batch producers wait for multi-slot room, so a
-    // notify_one could land on a waiter whose predicate is still false.
-    not_full_.notify_all();
+    // NotifyAll: batch producers wait for multi-slot room, so a
+    // NotifyOne could land on a waiter whose predicate is still false.
+    not_full_.NotifyAll();
     return item;
   }
 
@@ -56,18 +62,18 @@ class BoundedQueue {
   /// batch was enqueued (the unpushed remainder is dropped).
   bool PushBatch(std::vector<T>&& batch) {
     size_t i = 0;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (i < batch.size()) {
       size_t chunk = std::min(batch.size() - i, capacity_);
-      not_full_.wait(lock, [&] {
-        return closed_ || capacity_ - items_.size() >= chunk;
-      });
+      while (!closed_ && capacity_ - items_.size() < chunk) {
+        not_full_.Wait(lock);
+      }
       if (closed_) return false;
       for (size_t j = 0; j < chunk; ++j) {
         items_.push_back(std::move(batch[i + j]));
       }
       i += chunk;
-      not_empty_.notify_one();
+      not_empty_.NotifyOne();
     }
     return true;
   }
@@ -77,8 +83,8 @@ class BoundedQueue {
   /// `*out` empty — only when the queue is closed and drained.
   bool PopBatch(std::vector<T>* out, size_t max_items) {
     out->clear();
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return false;
     size_t n = std::min(max_items, items_.size());
     out->reserve(n);
@@ -86,28 +92,28 @@ class BoundedQueue {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     return true;
   }
 
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_, not_full_;
-  std::deque<T> items_;
-  size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_, not_full_;
+  std::deque<T> items_ CHRONOS_GUARDED_BY(mu_);
+  const size_t capacity_;
+  bool closed_ CHRONOS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace chronos::online

@@ -101,6 +101,9 @@ ShardedAion::ShardedAion(const Options& options, size_t num_shards,
     shard->engine = std::make_unique<KeyEngine>(
         eo, &shard->stats, &shard->flips,
         [raw](Timestamp order_ts, const Violation& v) {
+          // Engine callbacks fire only on the shard's worker thread
+          // (inside ExecuteCmd), which owns the violation buffer.
+          AssumeRole own(raw->owner);
           raw->violations.push_back({order_ts, v});
         });
     shards_.push_back(std::move(shard));
@@ -127,8 +130,16 @@ ShardedAion::~ShardedAion() {
   // the shard rings after flushing everything staged, so no command —
   // and no detected violation — is lost for a caller that skipped
   // Finish().
-  for (auto& ps : prestages_) ps->in.Close();
-  seq_ring_.Close();
+  for (auto& ps : prestages_) {
+    // The destructor runs on the coordinator thread, which is the sole
+    // producer of the ingress rings.
+    AssumeRole prod(ps->in.producer_role);
+    ps->in.Close();
+  }
+  {
+    AssumeRole prod(seq_ring_.producer_role);
+    seq_ring_.Close();
+  }
   for (auto& ps : prestages_) {
     if (ps->worker.joinable()) ps->worker.join();
   }
@@ -193,6 +204,10 @@ ShardedAion::StagedTxn ShardedAion::ClassifyAndPartition(
 }
 
 void ShardedAion::ClassifierLoop(PreStage* ps, size_t index) {
+  // This thread is the sole consumer of its `in` ring and the sole
+  // producer of its `out` ring for the whole pipeline lifetime.
+  AssumeRole in_cons(ps->in.consumer_role);
+  AssumeRole out_prod(ps->out.producer_role);
   std::vector<Transaction> batch;
   while (ps->in.PopBatch(&batch, 64)) {
     if (options_.stall_hook) {
@@ -209,6 +224,11 @@ void ShardedAion::ClassifierLoop(PreStage* ps, size_t index) {
 
 void ShardedAion::StageShard(size_t shard, ShardCmd&& cmd) {
   Shard& s = *shards_[shard];
+  // REQUIRES(seq_role_) gates the caller, and the seq_role_ holder is
+  // the only thread that touches any shard's sequencer side, so the
+  // per-shard capabilities derive from it.
+  AssumeRole seq_side(s.seq_side);
+  AssumeRole prod(s.ring.producer_role);
   s.ring.Stage(std::move(cmd));
   ++s.issued;
   if (++s.staged >= cmd_batch_) {
@@ -219,6 +239,8 @@ void ShardedAion::StageShard(size_t shard, ShardCmd&& cmd) {
 
 void ShardedAion::FlushShards() {
   for (auto& shard : shards_) {
+    AssumeRole seq_side(shard->seq_side);  // derived from seq_role_
+    AssumeRole prod(shard->ring.producer_role);
     if (shard->staged != 0) {
       shard->ring.Publish();
       shard->staged = 0;
@@ -228,13 +250,17 @@ void ShardedAion::FlushShards() {
 
 void ShardedAion::WaitShardsDone() {
   for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->done_mu);
-    shard->done_cv.wait(lock,
-                        [&] { return shard->done >= shard->issued; });
+    AssumeRole seq_side(shard->seq_side);  // derived from seq_role_
+    MutexLock lock(shard->done_mu);
+    while (shard->done < shard->issued) shard->done_cv.Wait(lock);
   }
 }
 
 void ShardedAion::SequencerLoop() {
+  // The sequencer thread owns its role, and is the sole consumer of the
+  // header ring, for the whole pipeline lifetime.
+  AssumeRole seq(seq_role_);
+  AssumeRole seq_cons(seq_ring_.consumer_role);
   using AdmitKind = TxnIngress::Admission::Kind;
   std::vector<SeqMsg> msgs;
   uint64_t txn_seq = 0;
@@ -250,6 +276,8 @@ void ShardedAion::SequencerLoop() {
           // One staged footprint per header, from the arrival's worker.
           PreStage& ps = *prestages_[txn_seq % num_prestages];
           ++txn_seq;
+          // Sole consumer of every pre-stage `out` ring.
+          AssumeRole cons(ps.out.consumer_role);
           std::optional<StagedTxn> st = ps.out.Pop();
           if (!st) break;  // unreachable: the txn precedes its header
           if (m.admit == AdmitKind::kDrop) break;  // duplicate timestamp
@@ -305,22 +333,29 @@ void ShardedAion::SequencerLoop() {
           FlushShards();
           WaitShardsDone();
           {
-            std::lock_guard<std::mutex> lock(barrier_mu_);
+            MutexLock lock(barrier_mu_);
             barrier_done_ = m.ticket;
           }
-          barrier_cv_.notify_all();
+          barrier_cv_.NotifyAll();
           break;
         }
       }
     }
   }
   FlushShards();
-  for (auto& shard : shards_) shard->ring.Close();
+  for (auto& shard : shards_) {
+    AssumeRole prod(shard->ring.producer_role);  // derived from seq_role_
+    shard->ring.Close();
+  }
 }
 
 // --- shard workers ----------------------------------------------------
 
 void ShardedAion::WorkerLoop(Shard* shard, size_t index) {
+  // This thread owns the shard's engine/stats/violations and is the
+  // sole consumer of its command ring for the whole pipeline lifetime.
+  AssumeRole own(shard->owner);
+  AssumeRole cons(shard->ring.consumer_role);
   std::vector<ShardCmd> chunk;
   while (shard->ring.PopBatch(&chunk, cmd_batch_)) {
     if (options_.stall_hook) {
@@ -334,10 +369,10 @@ void ShardedAion::WorkerLoop(Shard* shard, size_t index) {
     shard->approx_bytes.store(shard->engine->ApproxBytes(),
                               std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(shard->done_mu);
+      MutexLock lock(shard->done_mu);
       shard->done += chunk.size();
     }
-    shard->done_cv.notify_all();
+    shard->done_cv.NotifyAll();
   }
 }
 
@@ -378,6 +413,8 @@ void ShardedAion::DispatchTxn(const KeyEngine::TxnCtx& ctx,
   (void)ops;
   (void)register_reads;
   (void)now_ms;
+  // chronos-lint: allow(assert-style): unreachable-path guard; CHECK
+  // would pull the logging dependency into the hot translation unit.
   assert(false && "ShardedAion sequences footprints via AdmitTxn");
 }
 
@@ -385,6 +422,9 @@ void ShardedAion::DispatchFinalize(TxnId tid) {
   SeqMsg m;
   m.kind = SeqMsg::Kind::kFinalize;
   m.tid = tid;
+  // Called from ingress_.AdmitTxn on the coordinator thread: the sole
+  // producer of the header ring.
+  AssumeRole prod(seq_ring_.producer_role);
   seq_ring_.Push(std::move(m));
 }
 
@@ -392,6 +432,7 @@ void ShardedAion::DispatchGc(Timestamp watermark) {
   SeqMsg m;
   m.kind = SeqMsg::Kind::kGc;
   m.gc_watermark = watermark;
+  AssumeRole prod(seq_ring_.producer_role);  // coordinator thread
   seq_ring_.Push(std::move(m));
 }
 
@@ -403,7 +444,11 @@ void ShardedAion::OnTransaction(const Transaction& t, uint64_t now_ms) {
   // verdicts and emission are independent of the worker count.
   PreStage& ps = *prestages_[arrival_seq_ % prestages_.size()];
   ++arrival_seq_;
-  ps.in.Push(Transaction(t));
+  {
+    // Coordinator thread: sole producer of every pre-stage `in` ring.
+    AssumeRole prod(ps.in.producer_role);
+    ps.in.Push(Transaction(t));
+  }
 
   // Cross-transaction admission on the caller thread: deadlines fired
   // here sequence their finalize headers (DispatchFinalize) before this
@@ -416,6 +461,7 @@ void ShardedAion::OnTransaction(const Transaction& t, uint64_t now_ms) {
   m.register_reads = adm.register_reads;
   m.ctx = adm.ctx;
   m.now_ms = adm.now_ms;
+  AssumeRole prod(seq_ring_.producer_role);  // coordinator thread
   seq_ring_.Push(std::move(m));
 }
 
@@ -433,9 +479,12 @@ void ShardedAion::WaitAll() {
   SeqMsg m;
   m.kind = SeqMsg::Kind::kBarrier;
   m.ticket = ++barrier_next_;
-  seq_ring_.Push(std::move(m));
-  std::unique_lock<std::mutex> lock(barrier_mu_);
-  barrier_cv_.wait(lock, [&] { return barrier_done_ >= barrier_next_; });
+  {
+    AssumeRole prod(seq_ring_.producer_role);  // coordinator thread
+    seq_ring_.Push(std::move(m));
+  }
+  MutexLock lock(barrier_mu_);
+  while (barrier_done_ < barrier_next_) barrier_cv_.Wait(lock);
 }
 
 void ShardedAion::Finish() {
@@ -445,11 +494,17 @@ void ShardedAion::Finish() {
 }
 
 void ShardedAion::EmitViolations() {
+  // Caller thread, behind WaitAll (Finish) or after the pipeline threads
+  // joined (destructor): that barrier/join edge hands the sequencer's
+  // and each worker's buffers over race-free, and no new work can arrive
+  // concurrently because all OnlineChecker calls share one coordinator.
+  AssumeRole seq(seq_role_);
   std::vector<TaggedViolation> all = std::move(coord_violations_);
   coord_violations_.clear();
   all.insert(all.end(), seq_violations_.begin(), seq_violations_.end());
   seq_violations_.clear();
   for (auto& shard : shards_) {
+    AssumeRole own(shard->owner);  // same barrier/join edge
     all.insert(all.end(), shard->violations.begin(), shard->violations.end());
     shard->violations.clear();
   }
@@ -466,6 +521,10 @@ void ShardedAion::EmitViolations() {
 
 ShardedAion::StateImage ShardedAion::ExportState() {
   WaitAll();
+  // Behind the barrier: sequencer drained and shard workers idle, so the
+  // caller may read their state (see EmitViolations for the full
+  // argument).
+  AssumeRole seq(seq_role_);
   StateImage img;
   {
     StateWriter w;
@@ -497,6 +556,7 @@ ShardedAion::StateImage ShardedAion::ExportState() {
   }
   img.shards.reserve(shards_.size());
   for (auto& shard : shards_) {
+    AssumeRole own(shard->owner);  // barrier edge, as above
     StateWriter w;
     WriteStats(&w, shard->stats);
     shard->flips.Serialize(&w);
@@ -513,6 +573,8 @@ ShardedAion::StateImage ShardedAion::ExportState() {
 bool ShardedAion::ImportState(const StateImage& img) {
   if (img.shards.size() != shards_.size()) return false;
   WaitAll();
+  // Behind the barrier, as in ExportState.
+  AssumeRole seq(seq_role_);
   {
     StateReader r(img.ingress);
     if (!ingress_.Deserialize(&r) || !r.AtEnd()) return false;
@@ -540,6 +602,7 @@ bool ShardedAion::ImportState(const StateImage& img) {
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
+    AssumeRole own(shard.owner);  // barrier edge, as above
     StateReader r(img.shards[s]);
     ReadStats(&r, &shard.stats);
     if (!shard.flips.Deserialize(&r)) return false;
@@ -564,6 +627,7 @@ bool ShardedAion::ImportState(const StateImage& img) {
 void ShardedAion::ShedMemory() {
   WaitAll();
   for (auto& shard : shards_) {
+    AssumeRole own(shard->owner);  // barrier edge, as in ExportState
     shard->engine->TrimListsBelowHorizon();
     shard->approx_bytes.store(shard->engine->ApproxBytes(),
                               std::memory_order_relaxed);
@@ -573,19 +637,27 @@ void ShardedAion::ShedMemory() {
 CheckerStats ShardedAion::stats() {
   WaitAll();
   CheckerStats merged = coord_stats_;
-  for (auto& shard : shards_) merged += shard->stats;
+  for (auto& shard : shards_) {
+    AssumeRole own(shard->owner);  // barrier edge, as in ExportState
+    merged += shard->stats;
+  }
   return merged;
 }
 
 FlipFlopStats ShardedAion::flip_stats() {
   WaitAll();
   FlipFlopStats merged;
-  for (auto& shard : shards_) merged.Merge(shard->flips);
+  for (auto& shard : shards_) {
+    AssumeRole own(shard->owner);  // barrier edge, as in ExportState
+    merged.Merge(shard->flips);
+  }
   return merged;
 }
 
 PipelineHealth ShardedAion::pipeline_health() {
   WaitAll();
+  // Behind the barrier, as in ExportState (seq_msgs_ read below).
+  AssumeRole seq(seq_role_);
   PipelineHealth h;
   h.pre_stage_in.reserve(prestages_.size());
   h.pre_stage_out.reserve(prestages_.size());

@@ -55,10 +55,8 @@
 #define CHRONOS_ONLINE_SHARDED_AION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +64,7 @@
 #include "core/flipflop_stats.h"
 #include "core/key_engine.h"
 #include "core/online_checker.h"
+#include "core/thread_annotations.h"
 #include "core/txn_ingress.h"
 #include "core/types.h"
 #include "core/violation.h"
@@ -203,12 +202,23 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   struct Shard {
     explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
 
-    SpscRing<ShardCmd> ring;             // sequencer -> worker
-    std::unique_ptr<KeyEngine> engine;   // worker-thread state
-    CheckerStats stats;                  // worker-written, read at barrier
-    FlipFlopStats flips;                 // worker-written, read at barrier
-    std::vector<TaggedViolation> violations;  // worker-written
-    // Footprint mirrors, refreshed by the worker after each batch.
+    SpscRing<ShardCmd> ring;  // sequencer -> worker
+
+    /// Capability of the shard's worker thread: guards the engine and
+    /// the verdict side-products it writes. The caller may assume it
+    /// only behind a quiescent barrier (WaitAll / joined threads).
+    ThreadRole owner;
+    /// Capability of the sequencer thread over this shard's issue
+    /// bookkeeping.
+    ThreadRole seq_side;
+
+    std::unique_ptr<KeyEngine> engine CHRONOS_PT_GUARDED_BY(owner);
+    CheckerStats stats CHRONOS_GUARDED_BY(owner);  // read at barrier
+    FlipFlopStats flips CHRONOS_GUARDED_BY(owner);  // read at barrier
+    std::vector<TaggedViolation> violations CHRONOS_GUARDED_BY(owner);
+    // Footprint mirrors, refreshed by the worker after each batch;
+    // lock-free by design (GetFootprint runs inside the GC policy
+    // check), so they carry explicit memory orders instead of a guard.
     std::atomic<size_t> versions{0};
     std::atomic<size_t> intervals{0};
     std::atomic<size_t> approx_bytes{0};
@@ -216,13 +226,13 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
     // Sequencer-side issue bookkeeping: commands staged into the ring
     // (`issued`) and staged-but-unpublished since the last cursor
     // publication (`staged`).
-    uint64_t issued = 0;
-    uint32_t staged = 0;
+    uint64_t issued CHRONOS_GUARDED_BY(seq_side) = 0;
+    uint32_t staged CHRONOS_GUARDED_BY(seq_side) = 0;
 
     // Completion barrier: worker bumps `done` after executing a batch.
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    uint64_t done = 0;
+    Mutex done_mu;
+    CondVar done_cv;
+    uint64_t done CHRONOS_GUARDED_BY(done_mu) = 0;
 
     std::thread worker;
   };
@@ -243,11 +253,13 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
 
   // Sequencer: in-order merge of headers and staged footprints; sole
   // producer of every shard ring; owner of the finalize fan-out masks
-  // and the INT-report buffer.
+  // and the INT-report buffer. SequencerLoop assumes `seq_role_` (and,
+  // per shard it touches, that shard's `seq_side` + ring producer role);
+  // the helpers REQUIRE it so only the sequencer can stage commands.
   void SequencerLoop();
-  void StageShard(size_t shard, ShardCmd&& cmd);
-  void FlushShards();
-  void WaitShardsDone();
+  void StageShard(size_t shard, ShardCmd&& cmd) CHRONOS_REQUIRES(seq_role_);
+  void FlushShards() CHRONOS_REQUIRES(seq_role_);
+  void WaitShardsDone() CHRONOS_REQUIRES(seq_role_);
 
   /// Caller-side barrier: sequences a ticket and blocks until the
   /// sequencer has drained every prior header and every shard has
@@ -258,7 +270,8 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   void EmitViolations();
 
   void WorkerLoop(Shard* shard, size_t index);
-  void ExecuteCmd(Shard* shard, ShardCmd& cmd);
+  void ExecuteCmd(Shard* shard, ShardCmd& cmd)
+      CHRONOS_REQUIRES(shard->owner);
 
   Options options_;
   ViolationSink* sink_;
@@ -277,16 +290,23 @@ class ShardedAion : public OnlineChecker, private TxnIngress::Dispatch {
   std::thread sequencer_;
 
   // --- sequencer-thread state (caller may touch only at a barrier) ---
+  /// Capability of the sequencer thread. SequencerLoop assumes it for
+  /// its lifetime; the caller assumes it only behind the barrier
+  /// handshake (WaitAll) or after the sequencer joined — each such site
+  /// carries an AssumeRole naming the happens-before edge.
+  ThreadRole seq_role_;
   // Which shards hold a registered transaction's external reads; the
   // finalize fan-out targets exactly these. Erased at finalize.
-  std::unordered_map<TxnId, uint64_t> read_shard_mask_;
-  std::vector<TaggedViolation> seq_violations_;  // INT reports, arrival order
-  uint64_t seq_msgs_ = 0;
+  std::unordered_map<TxnId, uint64_t> read_shard_mask_
+      CHRONOS_GUARDED_BY(seq_role_);
+  std::vector<TaggedViolation> seq_violations_  // INT reports, arrival order
+      CHRONOS_GUARDED_BY(seq_role_);
+  uint64_t seq_msgs_ CHRONOS_GUARDED_BY(seq_role_) = 0;
 
   // Barrier handshake (sequencer signals, caller waits).
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  uint64_t barrier_done_ = 0;
+  Mutex barrier_mu_;
+  CondVar barrier_cv_;
+  uint64_t barrier_done_ CHRONOS_GUARDED_BY(barrier_mu_) = 0;
 
   TxnIngress ingress_;
 };

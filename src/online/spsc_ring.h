@@ -31,20 +31,30 @@
 // Cursors are free-running uint64 (never wrapped); the slot index is
 // cursor & mask. Capacity is rounded up to a power of two. Producer-
 // local, consumer-local, and shared cursor state live on separate cache
-// lines so the two threads never false-share.
+// lines so the two threads never false-share (chronos_lint's
+// ring-alignas rule keeps it that way when fields are added).
+//
+// Ownership is annotated for Clang's thread-safety analysis
+// (core/thread_annotations.h): the public `producer_role` and
+// `consumer_role` capabilities split the API and the member state into
+// the two sides of the single-producer/single-consumer contract. A
+// thread acquires its side's role at its entry loop (AssumeRole); a new
+// call site of Stage/Push/Publish/Close that does not hold the producer
+// role — a second producer — fails the -Wthread-safety build, and
+// chronos_lint's ring-single-producer rule restricts who may legally
+// assume it (ROADMAP "Static analysis").
 #ifndef CHRONOS_ONLINE_SPSC_RING_H_
 #define CHRONOS_ONLINE_SPSC_RING_H_
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "online/metrics.h"
 
 namespace chronos::online {
@@ -64,12 +74,17 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  /// The two sides of the SPSC contract: exactly one thread may hold
+  /// each at any time (statically assumed via AssumeRole; see header).
+  ThreadRole producer_role;
+  ThreadRole consumer_role;
+
   // --- producer side (exactly one thread) -----------------------------
 
   /// Appends an item without publishing it. Blocks when the ring is full
   /// (publishing everything staged so far first, so the consumer can
   /// drain while we wait). Must not be called after Close().
-  void Stage(T&& item) {
+  void Stage(T&& item) CHRONOS_REQUIRES(producer_role) {
     uint64_t t = staged_tail_;
     if (t - cached_head_ >= capacity_) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -84,25 +99,25 @@ class SpscRing {
 
   /// Makes every staged item visible to the consumer (one release
   /// store). No-op when nothing is staged.
-  void Publish() {
+  void Publish() CHRONOS_REQUIRES(producer_role) {
     if (staged_tail_ != published_tail_) PublishAt(staged_tail_);
   }
 
   /// Stage + Publish: the unbatched convenience path.
-  void Push(T&& item) {
+  void Push(T&& item) CHRONOS_REQUIRES(producer_role) {
     Stage(std::move(item));
     Publish();
   }
 
   /// Publishes staged items, then marks the ring closed and wakes the
   /// consumer. Producer side; no Stage/Push may follow.
-  void Close() {
+  void Close() CHRONOS_REQUIRES(producer_role) {
     Publish();
     closed_.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   // --- consumer side (exactly one thread) -----------------------------
@@ -110,7 +125,8 @@ class SpscRing {
   /// Moves up to `max` published items into `*out` (cleared first).
   /// Blocks while the ring is open and empty; returns false only when
   /// the ring is closed and fully drained.
-  bool PopBatch(std::vector<T>* out, size_t max) {
+  bool PopBatch(std::vector<T>* out, size_t max)
+      CHRONOS_REQUIRES(consumer_role) {
     out->clear();
     if (max == 0) max = 1;
     uint64_t h = head_cursor_;
@@ -131,7 +147,7 @@ class SpscRing {
   }
 
   /// Single-item pop with the same blocking/drain semantics.
-  std::optional<T> Pop() {
+  std::optional<T> Pop() CHRONOS_REQUIRES(consumer_role) {
     uint64_t h = head_cursor_;
     if (cached_tail_ == h) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -171,7 +187,7 @@ class SpscRing {
   static constexpr int kSpinIterations = 256;
   static constexpr std::chrono::microseconds kParkTick{200};
 
-  void PublishAt(uint64_t t) {
+  void PublishAt(uint64_t t) CHRONOS_REQUIRES(producer_role) {
     published_tail_ = t;
     tail_.store(t, std::memory_order_release);
     uint64_t depth = t - head_.load(std::memory_order_relaxed);
@@ -180,42 +196,42 @@ class SpscRing {
     }
     if (consumer_waiting_.load(std::memory_order_seq_cst)) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
 
-  void Advance(uint64_t h) {
+  void Advance(uint64_t h) CHRONOS_REQUIRES(consumer_role) {
     head_cursor_ = h;
     head_.store(h, std::memory_order_release);
     if (producer_waiting_.load(std::memory_order_seq_cst)) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
 
-  void WaitForRoom(uint64_t t) {
+  void WaitForRoom(uint64_t t) CHRONOS_REQUIRES(producer_role) {
     for (int i = 0; i < kSpinIterations; ++i) {
       cached_head_ = head_.load(std::memory_order_acquire);
       if (t - cached_head_ < capacity_) return;
     }
     producer_stalls_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     producer_waiting_.store(true, std::memory_order_seq_cst);
     for (;;) {
       cached_head_ = head_.load(std::memory_order_acquire);
       if (t - cached_head_ < capacity_) break;
-      cv_.wait_for(lock, kParkTick);
+      cv_.WaitFor(lock, kParkTick);
     }
     producer_waiting_.store(false, std::memory_order_relaxed);
   }
 
   // Returns true when an item is published past `h`; false when the ring
   // is closed and empty.
-  bool WaitNonEmpty(uint64_t h) {
+  bool WaitNonEmpty(uint64_t h) CHRONOS_REQUIRES(consumer_role) {
     for (int i = 0; i < kSpinIterations; ++i) {
       if (tail_.load(std::memory_order_acquire) != h) return true;
       if (closed_.load(std::memory_order_acquire)) {
@@ -225,7 +241,7 @@ class SpscRing {
       }
     }
     consumer_stalls_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     consumer_waiting_.store(true, std::memory_order_seq_cst);
     bool have = false;
     for (;;) {
@@ -237,7 +253,7 @@ class SpscRing {
         have = tail_.load(std::memory_order_acquire) != h;
         break;
       }
-      cv_.wait_for(lock, kParkTick);
+      cv_.WaitFor(lock, kParkTick);
     }
     consumer_waiting_.store(false, std::memory_order_relaxed);
     return have;
@@ -249,28 +265,33 @@ class SpscRing {
   alignas(64) std::atomic<bool> closed_{false};
 
   // Producer-local state.
-  alignas(64) uint64_t staged_tail_ = 0;
-  uint64_t published_tail_ = 0;
-  uint64_t cached_head_ = 0;
+  alignas(64) uint64_t staged_tail_ CHRONOS_GUARDED_BY(producer_role) = 0;
+  uint64_t published_tail_ CHRONOS_GUARDED_BY(producer_role) = 0;
+  uint64_t cached_head_ CHRONOS_GUARDED_BY(producer_role) = 0;
 
   // Consumer-local state.
-  alignas(64) uint64_t head_cursor_ = 0;
-  uint64_t cached_tail_ = 0;
+  alignas(64) uint64_t head_cursor_ CHRONOS_GUARDED_BY(consumer_role) = 0;
+  uint64_t cached_tail_ CHRONOS_GUARDED_BY(consumer_role) = 0;
 
+  // Slot contents hand over between the sides through the cursor
+  // release/acquire edges; neither role alone guards them.
   alignas(64) std::vector<T> slots_;
   size_t capacity_ = 0;
   size_t mask_ = 0;
 
-  // Park/wake plumbing (slow path only).
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::atomic<bool> producer_waiting_{false};
-  std::atomic<bool> consumer_waiting_{false};
+  // Park/wake plumbing (slow path only). The waiting flags are the
+  // seq_cst waiter-flag protocol from the header comment; they get their
+  // own cache lines since the two sides write them independently.
+  Mutex mu_;
+  CondVar cv_;
+  alignas(64) std::atomic<bool> producer_waiting_{false};
+  alignas(64) std::atomic<bool> consumer_waiting_{false};
 
-  // Health counters (RingHealth).
-  std::atomic<uint64_t> depth_hwm_{0};
-  std::atomic<uint64_t> producer_stalls_{0};
-  std::atomic<uint64_t> consumer_stalls_{0};
+  // Health counters (RingHealth), split by writing side.
+  alignas(64) std::atomic<uint64_t> depth_hwm_{0};
+  alignas(8) std::atomic<uint64_t> producer_stalls_{0};  // producer-written,
+  // shares depth_hwm_'s line deliberately (same writing side).
+  alignas(64) std::atomic<uint64_t> consumer_stalls_{0};
 };
 
 }  // namespace chronos::online

@@ -51,8 +51,9 @@ class HotspotGenerator {
   HotspotGenerator(uint64_t n, double hot_key_fraction = 0.2,
                    double hot_op_fraction = 0.8)
       : n_(n),
-        hot_keys_(std::max<uint64_t>(1, static_cast<uint64_t>(
-                                            n * hot_key_fraction))),
+        hot_keys_(std::max<uint64_t>(
+            1, static_cast<uint64_t>(static_cast<double>(n) *
+                                     hot_key_fraction))),
         hot_op_fraction_(hot_op_fraction) {}
 
   template <typename Rng>

@@ -15,9 +15,7 @@ namespace {
 using testing::HistoryBuilder;
 
 std::string TempSpillDir(const char* name) {
-  std::string dir = ::testing::TempDir() + "/" + name;
-  std::filesystem::remove_all(dir);
-  return dir;
+  return chronos::testing::UniqueTempDir(name);
 }
 
 // A chain of writers/readers on one key, delivered in order.

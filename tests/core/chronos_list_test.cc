@@ -101,7 +101,8 @@ TEST(ChronosListTest, MismatchReportsFirstDivergentIndex) {
   CountingSink sink(4);
   ChronosList::CheckHistory(h, &sink);
   ASSERT_EQ(sink.count(ViolationType::kExt), 1u);
-  const Violation& v = sink.first()[0];
+  // By value: first() returns a copy, so a reference would dangle.
+  const Violation v = sink.first()[0];
   EXPECT_EQ(v.divergence, 1);   // element 0 matches, element 1 differs
   EXPECT_EQ(v.expected, 2);     // frontier length
   EXPECT_EQ(v.got, 2);          // observed (resolved base) length

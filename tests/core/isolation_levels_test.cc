@@ -238,8 +238,9 @@ TEST(IsoCodec, MixedHistoryRoundTripsByteIdentically) {
                   .Txn(4, 2, 1, 7, 8).Iso(IsolationLevel::kRa).R(2, 200)
                   .Txn(5, 0, 1, 9, 10).Iso(IsolationLevel::kSi).W(3, 300)
                   .Build();
-  const std::string p1 = ::testing::TempDir() + "/iso_rt_1.hist";
-  const std::string p2 = ::testing::TempDir() + "/iso_rt_2.hist";
+  const std::string dir = chronos::testing::UniqueTempDir("iso");
+  const std::string p1 = dir + "/iso_rt_1.hist";
+  const std::string p2 = dir + "/iso_rt_2.hist";
   ASSERT_TRUE(hist::SaveHistory(h, p1).ok);
 
   History back;
@@ -258,7 +259,7 @@ TEST(IsoCodec, MixedHistoryRoundTripsByteIdentically) {
 
 TEST(IsoCodec, UntaggedHistorySavesWithoutIsoField) {
   History h = HistoryBuilder().Txn(1, 0, 0, 1, 2).W(1, 100).Build();
-  const std::string p = ::testing::TempDir() + "/iso_plain.hist";
+  const std::string p = chronos::testing::UniqueTempDir("iso") + "/iso_plain.hist";
   ASSERT_TRUE(hist::SaveHistory(h, p).ok);
   EXPECT_EQ(Slurp(p).find("iso="), std::string::npos);
   History back;
@@ -268,7 +269,7 @@ TEST(IsoCodec, UntaggedHistorySavesWithoutIsoField) {
 }
 
 TEST(IsoCodec, RejectsUnknownIsoValue) {
-  const std::string p = ::testing::TempDir() + "/iso_bad.hist";
+  const std::string p = chronos::testing::UniqueTempDir("iso") + "/iso_bad.hist";
   {
     std::ofstream out(p);
     out << "chronos-history v1 sessions=1 txns=1\n"

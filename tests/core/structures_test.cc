@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <random>
 
+#include "../testutil.h"
 #include "core/event_timeline.h"
 #include "core/interval_tree.h"
 #include "core/list_kv.h"
@@ -189,7 +190,7 @@ TEST(SmallMapTest, PutFindClear) {
 }
 
 TEST(SpillStoreTest, RoundTripsPayload) {
-  std::string dir = ::testing::TempDir() + "/spill_rt";
+  std::string dir = chronos::testing::UniqueTempDir("spill_rt");
   SpillStore store(dir);
   SpillPayload payload;
   payload.max_ts = 100;
@@ -217,7 +218,7 @@ TEST(SpillStoreTest, NonPersistentModeDiscards) {
 }
 
 TEST(SpillStoreTest, EmptyPayloadNotSpilled) {
-  std::string dir = ::testing::TempDir() + "/spill_empty";
+  std::string dir = chronos::testing::UniqueTempDir("spill_empty");
   SpillStore store(dir);
   EXPECT_EQ(store.Spill(SpillPayload{}), 0u);
   EXPECT_EQ(store.NumEpochs(), 0u);
@@ -225,7 +226,7 @@ TEST(SpillStoreTest, EmptyPayloadNotSpilled) {
 }
 
 TEST(SpillStoreTest, DistinguishesMissingFromCorruptEpochs) {
-  std::string dir = ::testing::TempDir() + "/spill_tristate";
+  std::string dir = chronos::testing::UniqueTempDir("spill_tristate");
   std::filesystem::remove_all(dir);
   SpillStore store(dir);
   SpillPayload payload;

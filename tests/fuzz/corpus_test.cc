@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../testutil.h"
 #include "core/aion.h"
 #include "core/chronos.h"
 #include "core/chronos_list.h"
@@ -59,7 +60,7 @@ TEST(CorpusTest, EveryDivergenceTableEntryIsExercised) {
 
 TEST(CorpusTest, DifferCleanAndChronosCountsPinned) {
   Corpus corpus = LoadOrDie();
-  std::string work = ::testing::TempDir() + "/corpus_differ";
+  std::string work = chronos::testing::UniqueTempDir("corpus_differ");
   for (const CorpusEntry& entry : corpus.entries) {
     CleanExpectation expect = entry.ExpectedTotal() == 0
                                   ? CleanExpectation::kClean
@@ -154,7 +155,7 @@ TEST(CorpusTest, GcStragglerEntryDemonstratesD7) {
     return std::make_pair(sink.total(), aion.stats().unsafe_below_watermark);
   };
 
-  std::string dir = ::testing::TempDir() + "/corpus_d7_spill";
+  std::string dir = chronos::testing::UniqueTempDir("corpus_d7_spill");
   std::filesystem::remove_all(dir);
   auto [with_spill_total, with_spill_unsafe] = run(dir);
   EXPECT_EQ(with_spill_total, 0u)
@@ -228,7 +229,7 @@ TEST(CorpusTest, ListGcStragglerEntryDemonstratesD7) {
     return std::make_pair(sink.total(), aion.stats().unsafe_below_watermark);
   };
 
-  std::string dir = ::testing::TempDir() + "/corpus_list_d7_spill";
+  std::string dir = chronos::testing::UniqueTempDir("corpus_list_d7_spill");
   std::filesystem::remove_all(dir);
   auto [with_spill_total, with_spill_unsafe] = run(dir);
   EXPECT_EQ(with_spill_total, 0u)

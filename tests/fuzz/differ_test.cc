@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../testutil.h"
 #include "fuzz/differ.h"
 #include "fuzz/scenario.h"
 #include "workload/generator.h"
@@ -13,7 +14,7 @@
 namespace chronos::fuzz {
 namespace {
 
-std::string WorkDir() { return ::testing::TempDir() + "/differ_test"; }
+std::string WorkDir() { return chronos::testing::UniqueTempDir("differ"); }
 
 TEST(ScenarioTest, DerivationIsDeterministic) {
   for (uint64_t seed : {0ull, 7ull, 123456789ull}) {

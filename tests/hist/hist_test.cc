@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <unordered_map>
 
+#include "../testutil.h"
 #include "hist/codec.h"
 #include "hist/collector.h"
 #include "workload/generator.h"
@@ -14,7 +15,7 @@ namespace chronos::hist {
 namespace {
 
 std::string TempPath(const char* name) {
-  return ::testing::TempDir() + "/" + name;
+  return chronos::testing::UniqueTempDir("hist") + "/" + name;
 }
 
 TEST(CodecTest, RoundTripsRegisterHistory) {

@@ -145,8 +145,8 @@ INSTANTIATE_TEST_SUITE_P(
         FaultCase{"session_reorder",
                   MakeFaults(&db::FaultConfig::session_reorder_prob, 0.05),
                   ViolationType::kSession}),
-    [](const ::testing::TestParamInfo<FaultCase>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<FaultCase>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 // P3: Aion == Chronos on corrupted histories for every arrival order.
@@ -182,9 +182,8 @@ TEST_P(PermutationEquivalence, AionMatchesChronosCounts) {
   }
 
   // And with aggressive GC + spill, delivered in commit order.
-  std::string dir = ::testing::TempDir() + "/prop_gc_" +
-                    std::to_string(GetParam());
-  std::filesystem::remove_all(dir);
+  std::string dir = chronos::testing::UniqueTempDir(
+      "prop_gc_" + std::to_string(GetParam()));
   hist::CollectorParams cp;
   auto stream = hist::ScheduleDelivery(h, cp);
   std::vector<Transaction> ordered;

@@ -83,9 +83,8 @@ TEST_P(ShardedEquivalenceSweep, MatchesMonolithAtEveryShardCount) {
   opt.ext_timeout_ms = c.gc ? 2 : (1u << 30);
   std::string spill_base;
   if (c.gc) {
-    spill_base = ::testing::TempDir() + "/sharded_prop_" +
-                 std::to_string(c.seed) + (c.faulty ? "_f" : "_c");
-    std::filesystem::remove_all(spill_base);
+    spill_base = chronos::testing::UniqueTempDir(
+        "sharded_prop_" + std::to_string(c.seed) + (c.faulty ? "_f" : "_c"));
   }
 
   // Reference: the monolith.

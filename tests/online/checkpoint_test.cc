@@ -28,11 +28,7 @@ namespace fs = std::filesystem;
 using chronos::testing::SessionPreservingShuffle;
 
 std::string FreshDir(const std::string& name) {
-  std::string dir = (fs::temp_directory_path() / "chronos_ckpt_test" / name)
-                        .string();
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir;
+  return chronos::testing::UniqueTempDir(name);
 }
 
 History MakeWorkload(uint64_t txns, uint64_t seed, bool list_mode) {
@@ -483,6 +479,7 @@ TEST(MemoryCeilingTest, ShedsKeepFootprintBoundedWithoutVerdictChanges) {
     dopts.gc_every_events = 64;
     dopts.gc_target = 64;
     DurableRunner runner(checker.get(), dopts);
+    AssumeRole driver(runner.driver_role);  // single-threaded test driver
     for (size_t i = 0; i < h.txns.size(); ++i) {
       ASSERT_TRUE(runner.Feed(h.txns[i], i));
       if (i % 16 == 0) {
@@ -509,6 +506,7 @@ TEST(MemoryCeilingTest, ShedsKeepFootprintBoundedWithoutVerdictChanges) {
   dopts.memory_ceiling_bytes = ceiling;
   dopts.ceiling_check_every = 16;
   DurableRunner runner(checker.get(), dopts);
+  AssumeRole driver(runner.driver_role);  // single-threaded test driver
   for (size_t i = 0; i < h.txns.size(); ++i) {
     ASSERT_TRUE(runner.Feed(h.txns[i], i));
     // At every check boundary the runner just shed if it was over: the

@@ -216,7 +216,7 @@ TEST(ListParityTest, GcSpillStragglerParityWithAppends) {
                           aion.stats().unsafe_below_watermark);
   };
 
-  std::string dir = ::testing::TempDir() + "/list_straggler_spill";
+  std::string dir = chronos::testing::UniqueTempDir("straggler_spill");
   std::filesystem::remove_all(dir);
   auto [with_spill, with_spill_unsafe] = run(dir);
   EXPECT_EQ(with_spill, CountsOf(offline))
@@ -234,7 +234,7 @@ TEST(ListParityTest, GcSpillStragglerParityWithAppends) {
 // watermarks stay identical to the monolith, spill dirs and all.
 TEST(ListParityTest, GcSpillStragglerShardedParity) {
   History h = StragglerListHistory();
-  std::string base = ::testing::TempDir() + "/list_straggler_sharded";
+  std::string base = chronos::testing::UniqueTempDir("straggler_sharded");
   std::filesystem::remove_all(base);
 
   CheckerOptions opt;

@@ -53,11 +53,7 @@ bool Exhaustive() {
 }
 
 std::string FreshDir(const std::string& name) {
-  std::string dir =
-      (fs::temp_directory_path() / "chronos_killpoint_test" / name).string();
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir;
+  return chronos::testing::UniqueTempDir(name);
 }
 
 struct Scenario {
@@ -102,6 +98,7 @@ Outcome RunUninterrupted(const Scenario& sc, const std::string& dir) {
   VectorSink sink;
   auto checker = std::make_unique<ShardedAion>(Opt(sc, dir), sc.shards, &sink);
   DurableRunner runner(checker.get(), Dopts(sc, dir));
+  AssumeRole driver(runner.driver_role);  // single-threaded test driver
   for (size_t i = 0; i < sc.arrivals.size(); ++i) {
     EXPECT_TRUE(runner.Feed(sc.arrivals[i], i));
   }
@@ -125,6 +122,7 @@ std::vector<uint64_t> RunAndCrash(const Scenario& sc, const std::string& dir,
   auto checker =
       std::make_unique<ShardedAion>(Opt(sc, dir), sc.shards, &discard);
   DurableRunner runner(checker.get(), Dopts(sc, dir));
+  AssumeRole driver(runner.driver_role);  // single-threaded test driver
   for (size_t i = 0; i < k; ++i) {
     EXPECT_TRUE(runner.Feed(sc.arrivals[i], i));
     wal_sizes.push_back(fs::file_size(dir + "/wal.log"));
@@ -143,6 +141,7 @@ Outcome RecoverAndFinish(const Scenario& sc, const std::string& dir,
   EXPECT_LE(res.events, sc.arrivals.size()) << what;
   DurableRunner cont(res.checker.get(), Dopts(sc, dir), res.next_seq,
                      res.events, res.wal_truncate_to);
+  AssumeRole driver(cont.driver_role);  // single-threaded test driver
   for (size_t i = res.events; i < sc.arrivals.size(); ++i) {
     EXPECT_TRUE(cont.Feed(sc.arrivals[i], i)) << what;
   }
@@ -364,6 +363,7 @@ TEST(RecoveryFallback, CorruptNewestCheckpointUsesPredecessor) {
 
   DurableRunner cont(res.checker.get(), Dopts(sc, dir), res.next_seq,
                      res.events, res.wal_truncate_to);
+  AssumeRole driver(cont.driver_role);  // single-threaded test driver
   for (size_t i = res.events; i < sc.arrivals.size(); ++i) {
     ASSERT_TRUE(cont.Feed(sc.arrivals[i], i));
   }

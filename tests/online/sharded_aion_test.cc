@@ -239,7 +239,7 @@ TEST(ShardedAionTest, StragglerBelowWatermarkUsesShardSpill) {
   straggler.commit_ts = 17;
   straggler.ops.push_back({OpType::kRead, 7, 1, 0});
 
-  std::string dir = ::testing::TempDir() + "/sharded_spill_test";
+  std::string dir = chronos::testing::UniqueTempDir("spill");
   std::filesystem::remove_all(dir);
   CheckerOptions opt;
   opt.ext_timeout_ms = 100;

@@ -17,6 +17,13 @@
 namespace chronos::online {
 namespace {
 
+// Thread-safety-analysis discipline (core/thread_annotations.h): each
+// test assumes the ring roles for the threads it plays. A test that
+// drives both sides from one thread assumes both roles; a test that
+// spawns a side assumes that role inside the thread's lambda. Where the
+// main thread also touches a side before spawning its owner, the
+// thread-creation happens-before edge hands the role over.
+
 TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
   EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
@@ -27,6 +34,7 @@ TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
 
 TEST(SpscRingTest, PushPopRoundTrip) {
   SpscRing<int> ring(8);
+  AssumeRole prod(ring.producer_role), cons(ring.consumer_role);
   ring.Push(1);
   ring.Push(2);
   std::optional<int> a = ring.Pop();
@@ -41,6 +49,7 @@ TEST(SpscRingTest, PushPopRoundTrip) {
 // capacity so the slot indices wrap repeatedly.
 TEST(SpscRingTest, WrapAroundPreservesFifoOrder) {
   SpscRing<uint64_t> ring(4);  // capacity 4
+  AssumeRole prod(ring.producer_role), cons(ring.consumer_role);
   std::vector<uint64_t> got;
   for (uint64_t i = 0; i < 1000; ++i) {
     ring.Push(uint64_t(i));
@@ -65,6 +74,7 @@ TEST(SpscRingTest, WrapAroundPreservesFifoOrder) {
 // whole batch visible at once.
 TEST(SpscRingTest, StagedItemsInvisibleUntilPublish) {
   SpscRing<int> ring(16);
+  AssumeRole prod(ring.producer_role), cons(ring.consumer_role);
   ring.Stage(1);
   ring.Stage(2);
   ring.Stage(3);
@@ -81,12 +91,18 @@ TEST(SpscRingTest, StagedItemsInvisibleUntilPublish) {
 // parks, so the consumer can always drain.
 TEST(SpscRingTest, FullRingBlocksProducerUntilConsumerDrains) {
   SpscRing<int> ring(2);  // capacity 2
-  ring.Push(0);
-  ring.Push(1);
+  AssumeRole cons(ring.consumer_role);
+  {
+    // Producer side until the spawn below takes it over.
+    AssumeRole prod(ring.producer_role);
+    ring.Push(0);
+    ring.Push(1);
+  }
   EXPECT_EQ(ring.SizeApprox(), ring.capacity());
 
   std::atomic<bool> third_pushed{false};
   std::thread producer([&] {
+    AssumeRole prod(ring.producer_role);
     ring.Push(2);  // blocks: ring is full
     third_pushed.store(true);
   });
@@ -103,8 +119,12 @@ TEST(SpscRingTest, FullRingBlocksProducerUntilConsumerDrains) {
 // PopBatch on an open empty ring blocks until the producer publishes.
 TEST(SpscRingTest, EmptyRingBlocksConsumerUntilPublish) {
   SpscRing<int> ring(8);
+  AssumeRole prod(ring.producer_role);
   std::vector<int> out;
-  std::thread consumer([&] { ASSERT_TRUE(ring.PopBatch(&out, 8)); });
+  std::thread consumer([&] {
+    AssumeRole cons(ring.consumer_role);
+    ASSERT_TRUE(ring.PopBatch(&out, 8));
+  });
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   ring.Stage(7);
   ring.Publish();
@@ -116,6 +136,7 @@ TEST(SpscRingTest, EmptyRingBlocksConsumerUntilPublish) {
 // then — and only then — sees end-of-stream.
 TEST(SpscRingTest, CloseDrainsStagedItemsBeforeEndOfStream) {
   SpscRing<int> ring(8);
+  AssumeRole prod(ring.producer_role), cons(ring.consumer_role);
   ring.Push(1);
   ring.Stage(2);
   ring.Stage(3);
@@ -129,8 +150,10 @@ TEST(SpscRingTest, CloseDrainsStagedItemsBeforeEndOfStream) {
 
 TEST(SpscRingTest, CloseWakesBlockedConsumer) {
   SpscRing<int> ring(8);
+  AssumeRole prod(ring.producer_role);
   std::atomic<bool> returned_false{false};
   std::thread consumer([&] {
+    AssumeRole cons(ring.consumer_role);
     std::vector<int> out;
     returned_false.store(!ring.PopBatch(&out, 8));
   });
@@ -148,12 +171,14 @@ TEST(SpscRingTest, ThreadedFifoStress) {
   constexpr uint64_t kItems = 200000;
   SpscRing<uint64_t> ring(64);
   std::thread producer([&] {
+    AssumeRole prod(ring.producer_role);
     for (uint64_t i = 0; i < kItems; ++i) {
       ring.Stage(uint64_t(i));
       if (i % 17 == 0) ring.Publish();
     }
     ring.Close();
   });
+  AssumeRole cons(ring.consumer_role);
   uint64_t expect = 0;
   std::vector<uint64_t> chunk;
   while (ring.PopBatch(&chunk, 32)) {
@@ -173,6 +198,7 @@ TEST(SpscRingTest, ThreadedFifoStress) {
 // Move-only payloads: the ring must never copy.
 TEST(SpscRingTest, MoveOnlyPayload) {
   SpscRing<std::unique_ptr<int>> ring(4);
+  AssumeRole prod(ring.producer_role), cons(ring.consumer_role);
   ring.Push(std::make_unique<int>(42));
   std::optional<std::unique_ptr<int>> v = ring.Pop();
   ASSERT_TRUE(v.has_value());
@@ -185,6 +211,7 @@ TEST(SpscRingTest, MoveOnlyPayload) {
 // count a stall. Stalls are park events, not boundary touches.
 TEST(SpscRingTest, ExactBoundariesWithoutWaitingCountNoStalls) {
   SpscRing<int> ring(2);
+  AssumeRole prod(ring.producer_role), cons(ring.consumer_role);
   ring.Push(1);
   ring.Push(2);  // exactly full: succeeded without a wait
   EXPECT_EQ(ring.SizeApprox(), ring.capacity());
@@ -201,6 +228,7 @@ TEST(SpscRingTest, ExactBoundariesWithoutWaitingCountNoStalls) {
 // end-of-stream from the spin fast-path: not a stall either.
 TEST(SpscRingTest, ClosedAndEmptyDrainCountsNoConsumerStall) {
   SpscRing<int> ring(4);
+  AssumeRole prod(ring.producer_role), cons(ring.consumer_role);
   ring.Push(1);
   ring.Close();
   EXPECT_EQ(ring.Pop().value(), 1);
@@ -216,9 +244,17 @@ TEST(SpscRingTest, ClosedAndEmptyDrainCountsNoConsumerStall) {
 // the final count is exactly 1, not ">= 1 under contention".
 TEST(SpscRingTest, ProducerStallIncrementsExactlyOnceAtFullBoundary) {
   SpscRing<int> ring(2);
-  ring.Push(1);
-  ring.Push(2);  // full
-  std::thread producer([&] { ring.Push(3); });  // must park
+  AssumeRole cons(ring.consumer_role);
+  {
+    // Producer side until the spawn below takes it over.
+    AssumeRole prod(ring.producer_role);
+    ring.Push(1);
+    ring.Push(2);  // full
+  }
+  std::thread producer([&] {
+    AssumeRole prod(ring.producer_role);
+    ring.Push(3);  // must park
+  });
   while (ring.health().producer_stalls == 0) std::this_thread::yield();
   EXPECT_EQ(ring.health().producer_stalls, 1u);
   EXPECT_EQ(ring.Pop().value(), 1);  // frees the slot; push 3 completes
@@ -232,8 +268,12 @@ TEST(SpscRingTest, ProducerStallIncrementsExactlyOnceAtFullBoundary) {
 // Mirror image at the empty boundary: exactly one consumer stall.
 TEST(SpscRingTest, ConsumerStallIncrementsExactlyOnceAtEmptyBoundary) {
   SpscRing<int> ring(2);
+  AssumeRole prod(ring.producer_role);
   std::vector<int> out;
-  std::thread consumer([&] { ASSERT_TRUE(ring.PopBatch(&out, 2)); });
+  std::thread consumer([&] {
+    AssumeRole cons(ring.consumer_role);
+    ASSERT_TRUE(ring.PopBatch(&out, 2));
+  });
   while (ring.health().consumer_stalls == 0) std::this_thread::yield();
   EXPECT_EQ(ring.health().consumer_stalls, 1u);
   ring.Push(7);  // wakes the consumer; the retry finds the item
@@ -245,20 +285,31 @@ TEST(SpscRingTest, ConsumerStallIncrementsExactlyOnceAtEmptyBoundary) {
 
 TEST(SpscRingTest, HealthCountsStalls) {
   SpscRing<int> ring(2);
-  ring.Push(1);
-  ring.Push(2);
-  std::thread producer([&] { ring.Push(3); });  // parks: full
+  {
+    AssumeRole prod(ring.producer_role);
+    ring.Push(1);
+    ring.Push(2);
+  }
+  std::thread producer([&] {
+    AssumeRole prod(ring.producer_role);
+    ring.Push(3);  // parks: full
+  });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  (void)ring.Pop();
+  {
+    AssumeRole cons(ring.consumer_role);
+    (void)ring.Pop();
+  }
   producer.join();
   EXPECT_GE(ring.health().producer_stalls, 1u);
 
   std::thread consumer([&] {
+    AssumeRole cons(ring.consumer_role);
     (void)ring.Pop();
     (void)ring.Pop();
     (void)ring.Pop();  // parks: empty
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  AssumeRole prod(ring.producer_role);  // handed back by producer.join()
   ring.Push(4);
   consumer.join();
   EXPECT_GE(ring.health().consumer_stalls, 1u);

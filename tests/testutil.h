@@ -3,7 +3,13 @@
 #ifndef CHRONOS_TESTS_TESTUTIL_H_
 #define CHRONOS_TESTS_TESTUTIL_H_
 
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <filesystem>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "core/aion.h"
@@ -11,6 +17,34 @@
 #include "core/violation.h"
 
 namespace chronos::testing {
+
+/// Fresh scratch directory for spill/checkpoint tests, unique per test
+/// AND per process: <gtest TempDir>/chronos_<suite>_<test>_<tag>_<pid>.
+/// Parallel `ctest -j` runs the suite as many processes, so a fixed
+/// path (the old pattern) lets two tests stomp each other's spill
+/// files; the pid suffix removes that race and the test-name prefix
+/// keeps two tests in one binary apart. Creation is checked — an
+/// unwritable TMPDIR surfaces as a test failure instead of downstream
+/// spill errors.
+inline std::string UniqueTempDir(const std::string& tag) {
+  std::string name = tag;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    name = std::string(info->test_suite_name()) + "_" + info->name() + "_" +
+           tag;
+  }
+  for (char& c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  }
+  std::string dir = ::testing::TempDir() + "chronos_" + name + "_" +
+                    std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // stale run with the same pid
+  std::filesystem::create_directories(dir, ec);
+  EXPECT_FALSE(ec) << "cannot create temp dir " << dir << ": "
+                   << ec.message();
+  return dir;
+}
 
 /// Fluent builder for hand-written histories.
 class HistoryBuilder {

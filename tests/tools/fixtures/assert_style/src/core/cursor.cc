@@ -1,0 +1,12 @@
+// Planted violation: a bare assert() in src/ without an allow escape
+// (it compiles out under NDEBUG).
+#include <cassert>
+
+namespace chronos {
+
+int Advance(int cursor, int limit) {
+  assert(cursor < limit);
+  return cursor + 1;
+}
+
+}  // namespace chronos

@@ -1,0 +1,25 @@
+// Planted violation: an atomic store without an explicit memory_order,
+// spanning two lines so the linter's statement joining is exercised.
+#ifndef CHRONOS_ONLINE_SPSC_RING_H_
+#define CHRONOS_ONLINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace chronos::online {
+
+class SpscRing {
+ public:
+  void Publish(uint64_t t) {
+    tail_.store(
+        t);
+  }
+  uint64_t Tail() const { return tail_.load(std::memory_order_acquire); }
+
+ private:
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace chronos::online
+
+#endif  // CHRONOS_ONLINE_SPSC_RING_H_

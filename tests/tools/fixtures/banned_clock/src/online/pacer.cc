@@ -1,0 +1,12 @@
+// Planted violation: a steady_clock read on a determinism-critical
+// path. Everything else in this file is rule-clean.
+#include <chrono>
+
+namespace chronos::online {
+
+uint64_t NowMs() {
+  auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace chronos::online

@@ -1,0 +1,11 @@
+// Planted violation: ambient randomness in src/core.
+#include <random>
+
+namespace chronos {
+
+uint64_t Entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace chronos

@@ -1,0 +1,14 @@
+// Planted violation: a lock on the GetFootprint path (it runs inside
+// the GC policy check and must stay lock-free).
+#include "online/aion.h"
+
+namespace chronos::online {
+
+CheckerFootprint Aion::GetFootprint() const {
+  MutexLock guard(mu_);
+  CheckerFootprint f;
+  f.live_txns = live_;
+  return f;
+}
+
+}  // namespace chronos::online

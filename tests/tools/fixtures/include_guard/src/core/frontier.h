@@ -1,0 +1,14 @@
+// Planted violation: include guard does not follow the canonical
+// CHRONOS_<PATH>_H_ scheme (src/ stripped, path uppercased).
+#ifndef FRONTIER_H
+#define FRONTIER_H
+
+namespace chronos {
+
+struct Frontier {
+  int depth = 0;
+};
+
+}  // namespace chronos
+
+#endif  // FRONTIER_H

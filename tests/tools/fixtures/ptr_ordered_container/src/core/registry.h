@@ -1,0 +1,22 @@
+// Planted violation: pointer-keyed ordered container (iteration order
+// would depend on the allocator).
+#ifndef CHRONOS_CORE_REGISTRY_H_
+#define CHRONOS_CORE_REGISTRY_H_
+
+#include <map>
+
+namespace chronos {
+
+struct Node;
+
+class Registry {
+ public:
+  void Add(const Node* n, int rank) { ranks_[n] = rank; }
+
+ private:
+  std::map<const Node*, int> ranks_;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_CORE_REGISTRY_H_

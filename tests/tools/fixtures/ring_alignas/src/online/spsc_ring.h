@@ -1,0 +1,18 @@
+// Planted violation: one std::atomic ring member missing its alignas.
+#ifndef CHRONOS_ONLINE_SPSC_RING_H_
+#define CHRONOS_ONLINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace chronos::online {
+
+class SpscRing {
+ private:
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace chronos::online
+
+#endif  // CHRONOS_ONLINE_SPSC_RING_H_

@@ -1,0 +1,23 @@
+// Planted violation: a second producer on the header ring. Helper()
+// is not in the seq_ring_.Push allowlist (OnTransaction,
+// DispatchFinalize, DispatchGc, WaitAll), so pushing from it is the
+// exact "second ring producer" bug the rule exists to catch. The
+// surrounding allowlisted functions are rule-clean.
+#include "online/sharded_aion.h"
+
+namespace chronos::online {
+
+void ShardedAion::DispatchGc(Timestamp watermark) {
+  SeqMsg m;
+  m.kind = SeqMsg::Kind::kGc;
+  m.gc_watermark = watermark;
+  seq_ring_.Push(std::move(m));
+}
+
+void ShardedAion::Helper() {
+  SeqMsg m;
+  m.kind = SeqMsg::Kind::kBarrier;
+  seq_ring_.Push(std::move(m));
+}
+
+}  // namespace chronos::online

@@ -1,0 +1,25 @@
+// Planted violation: memory_order_seq_cst on a statement that is not
+// part of the waiter-flag protocol.
+#ifndef CHRONOS_ONLINE_SPSC_RING_H_
+#define CHRONOS_ONLINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace chronos::online {
+
+class SpscRing {
+ public:
+  void Close() { closed_.store(true, std::memory_order_seq_cst); }
+  bool Waiting() const {
+    return waiting_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  alignas(64) std::atomic<bool> closed_{false};
+  alignas(64) std::atomic<bool> waiting_{false};
+};
+
+}  // namespace chronos::online
+
+#endif  // CHRONOS_ONLINE_SPSC_RING_H_

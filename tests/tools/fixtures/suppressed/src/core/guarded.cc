@@ -1,0 +1,15 @@
+// Clean fixture: the planted assert carries a valid allow escape in the
+// comment block directly above it, so the only expected output is one
+// honored suppression and zero findings.
+#include <cassert>
+
+namespace chronos {
+
+int Checked(int v) {
+  // chronos-lint: allow(assert-style): deliberate fixture escape,
+  // spanning a comment block to exercise the preceding-lines scan.
+  assert(v >= 0);
+  return v;
+}
+
+}  // namespace chronos

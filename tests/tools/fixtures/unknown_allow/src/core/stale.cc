@@ -1,0 +1,8 @@
+// Planted violation: an allow() escape naming a rule that does not
+// exist — stale or typoed suppressions must not rot silently.
+namespace chronos {
+
+// chronos-lint: allow(totally-made-up-rule)
+int Stale() { return 7; }
+
+}  // namespace chronos

@@ -205,6 +205,8 @@ int main(int argc, char** argv) {
           static_cast<size_t>(U64Flag(argc, argv, "--memory-ceiling", 0));
       online::DurableRunner runner(checker.get(), dopts, start_seq,
                                    start_events, wal_trunc);
+      // Single-threaded driver: main() owns the runner for its lifetime.
+      AssumeRole driver(runner.driver_role);
       Stopwatch sw;
       for (size_t i = start_events; i < stream.size(); ++i) {
         if (!runner.Feed(stream[i].txn, stream[i].deliver_at_ms)) {

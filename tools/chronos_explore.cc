@@ -155,7 +155,7 @@ History SweepHistory(uint64_t seed) {
   workload::WorkloadParams wl;
   wl.sessions = 2 + seed % 2;
   wl.txns = 4 + seed % 3;
-  wl.ops_per_txn = 2 + seed % 3;
+  wl.ops_per_txn = static_cast<uint32_t>(2 + seed % 3);
   wl.keys = 2 + seed % 2;
   wl.dist = workload::WorkloadParams::KeyDist::kUniform;
   wl.seed = seed;

@@ -3,16 +3,63 @@
 # full ctest suite, then a tiny bench_micro pass so a perf-path compile
 # or runtime regression cannot land silently. Run from the repo root.
 #
+# A blocking lint stage (tools/chronos_lint) runs right after the build:
+# banned determinism tokens, ring alignas/ordering contracts, include
+# hygiene. Skip with CHRONOS_CI_LINT=0.
+#
 # A ThreadSanitizer pass then rebuilds the concurrent suites (the batched
 # queue pipeline and the sharded checker) in a separate build dir and
 # runs them under TSan, so a data race in the coordinator->shard fan-out
 # cannot land silently either. Skip with CHRONOS_CI_TSAN=0; run only the
 # TSan stage with CHRONOS_CI_TSAN_ONLY=1 (the workflow's dedicated job).
 #
+# AddressSanitizer (+LSan) and UBSan passes rebuild the whole tree in
+# their own build dirs and run the full ctest suite plus a fixed-seed
+# fuzz/explore smoke. Skip with CHRONOS_CI_ASAN=0 / CHRONOS_CI_UBSAN=0;
+# run just one with CHRONOS_CI_ASAN_ONLY=1 / CHRONOS_CI_UBSAN_ONLY=1.
+#
 # Usage: tools/ci.sh [build_dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+
+# Standalone lint build (LINT_ONLY mode, the workflow's dedicated job):
+# its own dir so it cannot clobber an existing full configuration.
+run_lint() {
+  local dir="${BUILD_DIR}-lint"
+  cmake -B "$dir" -S . -DCHRONOS_BUILD_TESTS=OFF \
+        -DCHRONOS_BUILD_BENCH=OFF -DCHRONOS_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j --target chronos_lint
+  echo "lint: chronos_lint over the full tree"
+  "$dir/chronos_lint" --root=.
+}
+
+# Full-tree sanitizer pass: rebuild everything under $2, run the whole
+# ctest suite, then a fixed-seed (deterministic) fuzz + explore smoke so
+# the tool mainlines and the differential oracle run sanitized too.
+run_san() {
+  local name="$1" flags="$2"
+  local dir="${BUILD_DIR}-${name}"
+  # Per-config flags overridden for the same reason as run_tsan below:
+  # keep -O1 codegen and asserts alive under the sanitizer.
+  cmake -B "$dir" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$flags" \
+        -DCMAKE_CXX_FLAGS_RELWITHDEBINFO="-O1 -g" \
+        -DCMAKE_EXE_LINKER_FLAGS="$flags" \
+        -DCHRONOS_BUILD_BENCH=OFF -DCHRONOS_BUILD_TOOLS=ON \
+        -DCHRONOS_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  echo "$name: fixed-seed fuzz + explore smoke"
+  "$dir/chronos_fuzz" --seeds=40 --out-dir="$dir/fuzz-smoke"
+  "$dir/chronos_explore" --repro=tests/corpus/fig11_stale_read.repro \
+                         --out-dir="$dir/explore-out"
+  "$dir/chronos_explore" --sweep-seeds=5 --out-dir="$dir/explore-out"
+}
+
+run_asan() { run_san asan "-fsanitize=address"; }
+run_ubsan() { run_san ubsan "-fsanitize=undefined -fno-sanitize-recover=undefined"; }
 
 # The threaded test binaries TSan covers; extend when adding concurrent
 # suites (this list is the single source for local runs and CI).
@@ -61,14 +108,37 @@ run_tsan() {
                               --out-dir="$tsan_dir/explore-out"
 }
 
+if [[ "${CHRONOS_CI_LINT_ONLY:-0}" == "1" ]]; then
+  run_lint
+  echo "ci.sh: OK (lint only)"
+  exit 0
+fi
 if [[ "${CHRONOS_CI_TSAN_ONLY:-0}" == "1" ]]; then
   run_tsan
   echo "ci.sh: OK (tsan only)"
   exit 0
 fi
+if [[ "${CHRONOS_CI_ASAN_ONLY:-0}" == "1" ]]; then
+  run_asan
+  echo "ci.sh: OK (asan only)"
+  exit 0
+fi
+if [[ "${CHRONOS_CI_UBSAN_ONLY:-0}" == "1" ]]; then
+  run_ubsan
+  echo "ci.sh: OK (ubsan only)"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
+
+# Blocking lint gate, before the (longer) test stages: a banned token or
+# a broken ring contract fails in seconds, not minutes.
+if [[ "${CHRONOS_CI_LINT:-1}" != "0" ]]; then
+  echo "lint: chronos_lint over the full tree"
+  "$BUILD_DIR/chronos_lint" --root=.
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Crash-recovery stage: the exhaustive kill-point sweep. The tier-1
@@ -120,6 +190,14 @@ fi
 
 if [[ "${CHRONOS_CI_TSAN:-1}" != "0" ]]; then
   run_tsan
+fi
+
+if [[ "${CHRONOS_CI_ASAN:-1}" != "0" ]]; then
+  run_asan
+fi
+
+if [[ "${CHRONOS_CI_UBSAN:-1}" != "0" ]]; then
+  run_ubsan
 fi
 
 echo "ci.sh: OK"
